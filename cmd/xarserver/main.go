@@ -1,0 +1,69 @@
+// Command xarserver runs the XAR platform as a JSON HTTP service over a
+// synthetic city — the deployment shape §IX's multi-modal-trip-planner
+// integration assumes. See internal/server for the API.
+//
+//	xarserver -addr :8080 -rows 40 -cols 22
+//	curl -s localhost:8080/v1/healthz
+//	curl -s -X POST localhost:8080/v1/search -d '{
+//	    "source": {"lat": 40.71, "lng": -74.01},
+//	    "dest":   {"lat": 40.73, "lng": -73.99},
+//	    "earliest_departure": 28800, "latest_departure": 30600,
+//	    "walk_limit_m": 800}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"xar/internal/core"
+	"xar/internal/discretize"
+	"xar/internal/roadnet"
+	"xar/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xarserver: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	rows := flag.Int("rows", 40, "city lattice rows")
+	cols := flag.Int("cols", 22, "city lattice columns")
+	seed := flag.Int64("seed", 42, "random seed")
+	eps := flag.Float64("eps", 1000, "epsilon (= 4δ) in meters")
+	useALT := flag.Bool("alt", true, "accelerate shortest paths with ALT")
+	flag.Parse()
+
+	start := time.Now()
+	city, err := roadnet.GenerateCity(roadnet.DefaultCityConfig(*rows, *cols, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dcfg := discretize.DefaultConfig()
+	dcfg.Delta = *eps / 4
+	disc, err := discretize.Build(city, dcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ecfg := core.DefaultConfig()
+	ecfg.UseALTPaths = *useALT
+	eng, err := core.NewEngine(disc, ecfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("world ready in %v: %d road nodes, %d landmarks, %d clusters, ε=%.0f m",
+		time.Since(start).Round(time.Millisecond),
+		city.Graph.NumNodes(), len(disc.Landmarks), disc.NumClusters(), disc.Epsilon())
+
+	srv := server.New(eng, core.NewSocialGraph())
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

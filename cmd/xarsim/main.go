@@ -1,0 +1,103 @@
+// Command xarsim runs the paper's ride-share simulation (§X-A2) over a
+// synthetic city and demand stream, on XAR or on the T-Share baseline,
+// and prints throughput, match quality and latency statistics:
+//
+//	xarsim -system xar -requests 10000
+//	xarsim -system tshare -requests 10000
+//	xarsim -system both -requests 10000 -k 5 -looktobook 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"xar/internal/experiments"
+	"xar/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xarsim: ")
+
+	system := flag.String("system", "xar", "system to simulate: xar|tshare|both")
+	rows := flag.Int("rows", 40, "city lattice rows")
+	cols := flag.Int("cols", 22, "city lattice columns")
+	requests := flag.Int("requests", 5000, "trip stream length")
+	eps := flag.Float64("eps", 1000, "epsilon in meters")
+	seed := flag.Int64("seed", 42, "random seed")
+	k := flag.Int("k", 0, "matches per search (0 = all)")
+	lookToBook := flag.Int("looktobook", 1, "searches per booking decision")
+	walkLimit := flag.Float64("walk", 1000, "walking limit in meters")
+	detour := flag.Float64("detour", 2000, "detour limit in meters")
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	scale.CityRows = *rows
+	scale.CityCols = *cols
+	scale.Requests = *requests
+	scale.Epsilon = *eps
+	scale.Seed = *seed
+	scale.WalkLimit = *walkLimit
+	scale.DetourLimit = *detour
+
+	start := time.Now()
+	w, err := experiments.BuildWorld(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("world ready in %v: %d landmarks, %d clusters, ε=%.0f m",
+		time.Since(start).Round(time.Millisecond),
+		len(w.Disc.Landmarks), w.Disc.NumClusters(), w.Disc.Epsilon())
+
+	cfg := sim.DefaultConfig()
+	cfg.K = *k
+	cfg.LookToBook = *lookToBook
+	cfg.WalkLimit = *walkLimit
+	cfg.DetourLimit = *detour
+
+	if *system == "xar" || *system == "both" {
+		eng, err := w.NewXAREngine()
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(w, &sim.XARSystem{Engine: eng}, cfg)
+	}
+	if *system == "tshare" || *system == "both" {
+		eng, err := w.NewTShare(false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(w, &sim.TShareSystem{Engine: eng}, cfg)
+	}
+}
+
+func report(w *experiments.World, sys sim.System, cfg sim.Config) {
+	start := time.Now()
+	res, err := sim.Run(sys, w.Trips, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\n=== %s ===\n", res.SystemName)
+	fmt.Printf("replayed %d requests in %v (%.0f req/s)\n",
+		res.Requests, elapsed.Round(time.Millisecond),
+		float64(res.Requests)/elapsed.Seconds())
+	fmt.Printf("matched %d (%.1f%%), created %d rides, %d unservable, %d stale bookings\n",
+		res.Matched, 100*res.MatchRate(), res.Created, res.NotServable, res.FailedBooks)
+	fmt.Printf("search  %s\n", res.SearchTimes.Summary("ms"))
+	fmt.Printf("create  %s\n", res.CreateTimes.Summary("ms"))
+	fmt.Printf("book    %s\n", res.BookTimes.Summary("ms"))
+	if res.ApproxErrors.N() > 0 {
+		eps := w.Disc.Epsilon()
+		fmt.Printf("detour approx error: %s (ε=%.0f m; %.1f%% ≤ ε, %.2f%% ≤ 2ε)\n",
+			res.ApproxErrors.Summary("m"), eps,
+			100*res.ApproxErrors.CDF(eps), 100*res.ApproxErrors.CDF(2*eps))
+	}
+	if res.Walks.N() > 0 {
+		fmt.Printf("rider walking: %s\n", res.Walks.Summary("m"))
+	}
+	fmt.Printf("active rides at end: %d\n", sys.ActiveRides())
+}

@@ -1,0 +1,82 @@
+// Citysim: replay a synthetic morning of NYC-shaped taxi demand through
+// the XAR system with the paper's simulation protocol (§X-A2) — search
+// first, book the least-walk match, otherwise become a driver — and
+// report fleet economics: how many cars a sharing city needs, how far
+// riders walk, and how well the ε detour guarantee holds up.
+//
+//	go run ./examples/citysim
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"xar/internal/core"
+	"xar/internal/discretize"
+	"xar/internal/roadnet"
+	"xar/internal/sim"
+	"xar/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A mid-size city: ~40 streets by 20 avenues of Manhattan-like blocks.
+	city, err := roadnet.GenerateCity(roadnet.DefaultCityConfig(40, 20, 2024))
+	if err != nil {
+		log.Fatal(err)
+	}
+	disc, err := discretize.Build(city, discretize.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := core.NewEngine(disc, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("city: %.1f x %.1f km, %d landmarks, %d clusters, ε = %.0f m\n",
+		city.Graph.BBox().WidthMeters()/1000, city.Graph.BBox().HeightMeters()/1000,
+		len(disc.Landmarks), disc.NumClusters(), disc.Epsilon())
+
+	// Morning rush: 6,000 trips between 7:00 and 10:00, midtown-heavy.
+	wcfg := workload.DefaultConfig(6000, 7)
+	wcfg.StartHour = 7
+	wcfg.EndHour = 10
+	trips, err := workload.Generate(city, wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws := workload.Summarize(trips)
+	fmt.Printf("demand: %d trips, median length %.1f km, peak hour %dh (%.0f%% of demand)\n\n",
+		ws.N, ws.MedianDist/1000, ws.PeakHour, 100*ws.PeakHourFrac)
+
+	start := time.Now()
+	res, err := sim.Run(&sim.XARSystem{Engine: eng}, trips, sim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("simulated the morning in %v (%.0f requests/s)\n\n",
+		elapsed.Round(time.Millisecond), float64(res.Requests)/elapsed.Seconds())
+	fmt.Printf("requests:           %d\n", res.Requests)
+	fmt.Printf("shared a ride:      %d (%.1f%%)\n", res.Matched, 100*res.MatchRate())
+	fmt.Printf("drove (cars used):  %d — %.1f%% fewer cars than everyone driving\n",
+		res.Created, 100*(1-float64(res.Created)/float64(res.Requests)))
+	fmt.Printf("stale bookings:     %d (match changed between search and book)\n\n", res.FailedBooks)
+
+	fmt.Printf("latency — search: %s\n", res.SearchTimes.Summary("ms"))
+	fmt.Printf("latency — create: %s\n", res.CreateTimes.Summary("ms"))
+	fmt.Printf("latency — book:   %s\n\n", res.BookTimes.Summary("ms"))
+
+	eps := disc.Epsilon()
+	fmt.Printf("detour approximation error vs guarantee (ε = %.0f m):\n", eps)
+	fmt.Printf("  ≤ ε:  %.2f%%   ≤ 2ε: %.2f%%   ≤ 4ε: %.2f%% (theoretical bound)\n",
+		100*res.ApproxErrors.CDF(eps), 100*res.ApproxErrors.CDF(2*eps), 100*res.ApproxErrors.CDF(4*eps))
+	fmt.Printf("  worst observed error: %.0f m\n\n", res.ApproxErrors.Max())
+
+	fmt.Printf("rider walking (limit %.0f m): %s\n",
+		sim.DefaultConfig().WalkLimit, res.Walks.Summary("m"))
+	fmt.Printf("booking detours: %s\n", res.Detours.Summary("m"))
+}

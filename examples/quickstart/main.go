@@ -1,0 +1,107 @@
+// Quickstart: stand up a XAR deployment over a synthetic city, offer a
+// ride, search for matches without any shortest-path computation, book
+// the best one, and track the vehicle to completion.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xar"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build the system: city generation + three-tier discretization
+	// (grids → landmarks → clusters) + the in-memory ride index.
+	sys, err := xar.New(xar.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Stats()
+	fmt.Printf("deployment: %d road nodes, %d landmarks, %d clusters\n",
+		st.RoadNodes, st.Landmarks, st.Clusters)
+	fmt.Printf("approximation guarantee: ε = %.0f m (theoretical bound 4δ)\n\n", st.Epsilon)
+
+	// 2. A driver offers a ride across town at t = 8:00 (28800 s),
+	// accepting up to 2 km of detour to pick up co-riders. Pick the two
+	// most distant of a handful of servable points so the ride crosses
+	// the city.
+	from, to := sys.RandomServablePoint(1), sys.RandomServablePoint(2)
+	best := 0.0
+	for i := int64(1); i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			a, b := sys.RandomServablePoint(i), sys.RandomServablePoint(j)
+			d := (a.Lat-b.Lat)*(a.Lat-b.Lat) + (a.Lng-b.Lng)*(a.Lng-b.Lng)
+			if d > best {
+				best, from, to = d, a, b
+			}
+		}
+	}
+	rideID, err := sys.CreateRide(xar.RideOffer{
+		Source:      from,
+		Dest:        to,
+		Departure:   28800,
+		Seats:       4,
+		DetourLimit: 2000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ride %d offered: %s → %s\n\n", rideID, from, to)
+
+	// 3. A commuter near the route requests a ride in the 8:00–8:20
+	// window, willing to walk up to 800 m in total.
+	req := xar.Request{
+		Source:            xar.Point{Lat: from.Lat + (to.Lat-from.Lat)*0.3, Lng: from.Lng + (to.Lng-from.Lng)*0.3},
+		Dest:              xar.Point{Lat: from.Lat + (to.Lat-from.Lat)*0.8, Lng: from.Lng + (to.Lng-from.Lng)*0.8},
+		EarliestDeparture: 28800,
+		LatestDeparture:   30000,
+		WalkLimit:         800,
+	}
+	matches, err := sys.Search(req)
+	if err == xar.ErrNotServable {
+		log.Fatal("request location outside the discretized region")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search returned %d match(es) — no shortest path was computed\n", len(matches))
+	for i, m := range matches {
+		fmt.Printf("  match %d: ride %d, walk %.0f m, est. detour %.0f m, pickup ETA %.0f s\n",
+			i, m.Ride, m.TotalWalk(), m.DetourEstimate, m.PickupETA)
+	}
+	if len(matches) == 0 {
+		fmt.Println("no match this time; the commuter would offer their own ride instead")
+		return
+	}
+
+	// 4. Book the best (least-walk) match. Booking runs the only
+	// shortest paths of the transaction — at most four.
+	booking, err := sys.Book(matches[0], req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbooked ride %d:\n", booking.Ride)
+	fmt.Printf("  walk to pickup landmark %d: %.0f m\n", booking.PickupLandmark, booking.WalkSource)
+	fmt.Printf("  exact detour %.0f m (index estimated %.0f m, error %.0f m ≤ 4ε = %.0f m)\n",
+		booking.DetourActual, booking.DetourEstimate, booking.ApproxError(), 4*st.Epsilon)
+	fmt.Printf("  shortest paths computed: %d (paper bound: 4)\n", booking.ShortestPathRuns)
+
+	// 5. Track the vehicle: clusters behind it stop offering the ride.
+	for t := 28800.0; ; t += 300 {
+		arrived, err := sys.Track(rideID, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if arrived {
+			fmt.Printf("\nride %d arrived at t=%.0f s\n", rideID, t)
+			break
+		}
+	}
+	sys.CompleteRide(rideID)
+	fmt.Printf("fleet size after completion: %d\n", sys.NumRides())
+}

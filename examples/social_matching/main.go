@@ -1,0 +1,111 @@
+// Social matching: the paper motivates returning multiple matches per
+// request so that "rides offered by people in the social network graph
+// of the requester can be given higher priority while listing the
+// options" (§VII). This example builds a small friendship graph, offers
+// rides from friends and strangers along the same corridor, and shows
+// the socially-ranked option list a requester would see.
+//
+//	go run ./examples/social_matching
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xar/internal/core"
+	"xar/internal/discretize"
+	"xar/internal/roadnet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	city, err := roadnet.GenerateCity(roadnet.DefaultCityConfig(30, 16, 5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	disc, err := discretize.Build(city, discretize.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := core.NewEngine(disc, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The cast: Ada (requester), her friend Grace, Grace's friend Edsger,
+	// and two strangers.
+	const (
+		ada    core.UserID = 1
+		grace  core.UserID = 2
+		edsger core.UserID = 3
+		s1     core.UserID = 100
+		s2     core.UserID = 101
+	)
+	social := core.NewSocialGraph()
+	social.AddFriendship(ada, grace)
+	social.AddFriendship(grace, edsger)
+
+	names := map[core.UserID]string{
+		grace: "Grace (friend)", edsger: "Edsger (friend-of-friend)",
+		s1: "stranger #1", s2: "stranger #2",
+	}
+
+	// Five drivers offer near-identical rides across town.
+	g := city.Graph
+	from := g.Point(0)
+	to := g.Point(roadnet.NodeID(g.NumNodes() - 1))
+	owners := []core.UserID{s1, grace, s2, edsger}
+	rideOwner := map[int64]core.UserID{}
+	for i, owner := range owners {
+		id, err := eng.CreateRide(core.RideOffer{
+			Source: from, Dest: to,
+			Departure:   28800 + float64(i*30),
+			DetourLimit: 2000,
+			Owner:       owner,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rideOwner[int64(id)] = owner
+	}
+
+	// Ada requests a ride along the corridor.
+	r := eng.Ride(1)
+	mid := func(frac float64) core.Request {
+		idx := int(frac * float64(len(r.Route)-1))
+		return core.Request{
+			Source:            g.Point(r.Route[idx]),
+			Dest:              g.Point(r.Route[len(r.Route)*4/5]),
+			EarliestDeparture: 28000,
+			LatestDeparture:   31000,
+			WalkLimit:         900,
+		}
+	}
+	req := mid(0.25)
+	matches, err := eng.Search(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search returned %d matches (sorted by walking distance):\n", len(matches))
+	for i, m := range matches {
+		fmt.Printf("  %d. ride %d by %-26s walk %.0f m\n",
+			i+1, m.Ride, names[rideOwner[int64(m.Ride)]], m.TotalWalk())
+	}
+
+	ranked := eng.RankSocially(matches, ada, social)
+	fmt.Printf("\nsocially ranked for Ada (friends first, then friends-of-friends):\n")
+	for i, m := range ranked {
+		dist := social.Distance(ada, rideOwner[int64(m.Ride)], core.SocialRankDepth)
+		hop := map[int]string{1: "friend", 2: "friend-of-friend", 3: "stranger"}[dist]
+		if hop == "" {
+			hop = "stranger"
+		}
+		fmt.Printf("  %d. ride %d by %-26s (%s), walk %.0f m\n",
+			i+1, m.Ride, names[rideOwner[int64(m.Ride)]], hop, m.TotalWalk())
+	}
+	if len(ranked) > 0 {
+		fmt.Printf("\nAda books the top option and rides with %s.\n",
+			names[rideOwner[int64(ranked[0].Ride)]])
+	}
+}

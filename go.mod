@@ -1,0 +1,3 @@
+module xar
+
+go 1.22

@@ -1,0 +1,419 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// planarDist builds a Euclidean DistFunc over 2-D points — a metric, as
+// the algorithms require.
+func planarDist(pts [][2]float64) DistFunc {
+	return func(i, j int) float64 {
+		dx := pts[i][0] - pts[j][0]
+		dy := pts[i][1] - pts[j][1]
+		return math.Hypot(dx, dy)
+	}
+}
+
+func randPoints(r *rand.Rand, n int, scale float64) [][2]float64 {
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{r.Float64() * scale, r.Float64() * scale}
+	}
+	return pts
+}
+
+func TestGreedyValidation(t *testing.T) {
+	d := planarDist([][2]float64{{0, 0}})
+	if _, err := Greedy(0, d, 1); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := Greedy(1, d, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+}
+
+func TestGreedyKGreaterThanN(t *testing.T) {
+	pts := [][2]float64{{0, 0}, {1, 0}, {2, 0}}
+	res, err := Greedy(3, planarDist(pts), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 || res.Radius != 0 {
+		t.Fatalf("k>n: K=%d radius=%v, want 3/0", res.K, res.Radius)
+	}
+}
+
+func TestGreedyBasicProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := randPoints(r, 60, 1000)
+	d := planarDist(pts)
+	for _, k := range []int{1, 2, 5, 10, 30, 60} {
+		res, err := Greedy(60, d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.K != k {
+			t.Fatalf("k=%d: got K=%d", k, res.K)
+		}
+		if err := res.Validate(60); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// Every item is within Radius of its assigned center, and the
+		// assignment is to the nearest center.
+		for i := 0; i < 60; i++ {
+			c := res.Centers[res.Assign[i]]
+			di := d(i, c)
+			if di > res.Radius+1e-9 {
+				t.Fatalf("k=%d item %d at %v > radius %v", k, i, di, res.Radius)
+			}
+			for _, oc := range res.Centers {
+				if d(i, oc) < di-1e-9 {
+					t.Fatalf("k=%d item %d not assigned to nearest center", k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGreedyRadiusMonotoneInK(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := randPoints(r, 80, 1000)
+	d := planarDist(pts)
+	prev := math.Inf(1)
+	for k := 1; k <= 80; k += 4 {
+		res, err := Greedy(80, d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Gonzalez radii are non-increasing in k because the first k
+		// centers are a prefix of the first k+1.
+		if res.Radius > prev+1e-9 {
+			t.Fatalf("radius increased at k=%d: %v > %v", k, res.Radius, prev)
+		}
+		prev = res.Radius
+	}
+}
+
+// exactKCenterRadius computes the optimal k-center radius by brute force
+// over all center subsets (small n only).
+func exactKCenterRadius(n int, d DistFunc, k int) float64 {
+	best := math.Inf(1)
+	var rec func(start int, chosen []int)
+	rec = func(start int, chosen []int) {
+		if len(chosen) == k {
+			worst := 0.0
+			for i := 0; i < n; i++ {
+				nearest := math.Inf(1)
+				for _, c := range chosen {
+					if dd := d(i, c); dd < nearest {
+						nearest = dd
+					}
+				}
+				if nearest > worst {
+					worst = nearest
+				}
+			}
+			if worst < best {
+				best = worst
+			}
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(chosen, i))
+		}
+	}
+	rec(0, nil)
+	return best
+}
+
+func TestGreedyTwoApproximation(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + r.Intn(4)
+		pts := randPoints(r, n, 100)
+		d := planarDist(pts)
+		for k := 1; k <= 4; k++ {
+			res, err := Greedy(n, d, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := exactKCenterRadius(n, d, k)
+			if res.Radius > 2*opt+1e-9 {
+				t.Fatalf("trial %d n=%d k=%d: greedy radius %v > 2×OPT %v", trial, n, k, res.Radius, opt)
+			}
+		}
+	}
+}
+
+func TestGreedySearchValidation(t *testing.T) {
+	d := planarDist([][2]float64{{0, 0}})
+	if _, _, err := GreedySearch(0, d, 1); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, _, err := GreedySearch(1, d, -1); err == nil {
+		t.Fatal("negative delta must error")
+	}
+}
+
+func TestGreedySearchSingleItem(t *testing.T) {
+	res, trace, err := GreedySearch(1, planarDist([][2]float64{{5, 5}}), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 || len(trace) == 0 {
+		t.Fatalf("single item: K=%d trace=%v", res.K, trace)
+	}
+}
+
+func TestGreedySearchTraceLogarithmic(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	n := 500
+	pts := randPoints(r, n, 10000)
+	_, trace, err := GreedySearch(n, planarDist(pts), 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary search over [1,500] probes at most ⌈log2(500)⌉+1 = 10 values.
+	if len(trace) > 10 {
+		t.Fatalf("trace has %d probes, want ≤ 10 (log₂ n)", len(trace))
+	}
+}
+
+func TestGreedySearchBicriteriaGuarantee(t *testing.T) {
+	// Theorem 6: k_ALG ≤ k_OPT and max intra-cluster distance ≤ 4δ.
+	// k_OPT comes from the exact clique-partition solver.
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + r.Intn(7) // 6..12
+		pts := randPoints(r, n, 100)
+		d := planarDist(pts)
+		delta := 20 + r.Float64()*60
+
+		res, _, err := GreedySearch(n, d, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(n); err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Exact(n, d, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.K > opt.K {
+			t.Fatalf("trial %d: k_ALG=%d > k_OPT=%d (δ=%.1f)", trial, res.K, opt.K, delta)
+		}
+		if intra := res.MaxIntra(d); intra > 4*delta+1e-9 {
+			t.Fatalf("trial %d: max intra %v > 4δ=%v", trial, intra, 4*delta)
+		}
+	}
+}
+
+func TestGreedySearchRadiusWithinTwoDelta(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	n := 100
+	pts := randPoints(r, n, 5000)
+	d := planarDist(pts)
+	res, _, err := GreedySearch(n, d, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Radius > 2*600 {
+		t.Fatalf("chosen clustering radius %v > 2δ", res.Radius)
+	}
+}
+
+func TestExactValidation(t *testing.T) {
+	d := planarDist([][2]float64{{0, 0}})
+	if _, err := Exact(0, d, 1); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := Exact(MaxExactItems+1, d, 1); err == nil {
+		t.Fatal("oversize instance must error")
+	}
+	if _, err := Exact(1, d, -1); err == nil {
+		t.Fatal("negative delta must error")
+	}
+}
+
+func TestExactKnownInstances(t *testing.T) {
+	// Three well-separated pairs: δ=1.5 pairs them up; δ=0.5 isolates all.
+	pts := [][2]float64{{0, 0}, {1, 0}, {10, 0}, {11, 0}, {20, 0}, {21, 0}}
+	d := planarDist(pts)
+	res, err := Exact(6, d, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 {
+		t.Fatalf("δ=1.5: K=%d, want 3", res.K)
+	}
+	res, err = Exact(6, d, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 6 {
+		t.Fatalf("δ=0.5: K=%d, want 6", res.K)
+	}
+	res, err = Exact(6, d, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Fatalf("δ=100: K=%d, want 1", res.K)
+	}
+}
+
+func TestExactRespectsDelta(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + r.Intn(8)
+		pts := randPoints(r, n, 50)
+		d := planarDist(pts)
+		delta := 10 + r.Float64()*30
+		res, err := Exact(n, d, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(n); err != nil {
+			t.Fatal(err)
+		}
+		if intra := res.MaxIntra(d); intra > delta+1e-9 {
+			t.Fatalf("exact solution violates δ: %v > %v", intra, delta)
+		}
+	}
+}
+
+func TestExactOptimalityAgainstGreedyLowerBound(t *testing.T) {
+	// Any valid clustering has ≥ K_exact clusters. Cross-check by trying
+	// to beat the exact answer with a brute-force search over assignments
+	// on tiny instances.
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + r.Intn(3) // 4..6
+		pts := randPoints(r, n, 50)
+		d := planarDist(pts)
+		delta := 15 + r.Float64()*25
+		res, err := Exact(n, d, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := bruteMinClusters(n, d, delta)
+		if res.K != best {
+			t.Fatalf("trial %d: exact=%d brute=%d", trial, res.K, best)
+		}
+	}
+}
+
+// bruteMinClusters enumerates all assignments (Bell-number growth; tiny n
+// only) to find the true minimum cluster count.
+func bruteMinClusters(n int, d DistFunc, delta float64) int {
+	assign := make([]int, n)
+	best := n
+	var rec func(i, maxUsed int)
+	rec = func(i, maxUsed int) {
+		if maxUsed >= best {
+			return
+		}
+		if i == n {
+			best = maxUsed
+			return
+		}
+		for c := 0; c <= maxUsed && c < best; c++ {
+			ok := true
+			for j := 0; j < i; j++ {
+				if assign[j] == c && d(i, j) > delta {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				assign[i] = c
+				nm := maxUsed
+				if c == maxUsed {
+					nm++
+				}
+				rec(i+1, nm)
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestFeasibleK(t *testing.T) {
+	pts := [][2]float64{{0, 0}, {1, 0}, {10, 0}, {11, 0}}
+	d := planarDist(pts)
+	ok, err := FeasibleK(4, d, 1.5, 2)
+	if err != nil || !ok {
+		t.Fatalf("2 clusters at δ=1.5 should be feasible: %v %v", ok, err)
+	}
+	ok, err = FeasibleK(4, d, 1.5, 1)
+	if err != nil || ok {
+		t.Fatalf("1 cluster at δ=1.5 should be infeasible: %v %v", ok, err)
+	}
+}
+
+func TestQuickBicriteria(t *testing.T) {
+	// Property: for random small instances, GreedySearch never exceeds
+	// the exact optimum cluster count and never exceeds the 4δ stretch.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(6)
+		pts := randPoints(r, n, 100)
+		d := planarDist(pts)
+		delta := 15 + r.Float64()*40
+		res, _, err := GreedySearch(n, d, delta)
+		if err != nil {
+			return false
+		}
+		opt, err := Exact(n, d, delta)
+		if err != nil {
+			return false
+		}
+		return res.K <= opt.K && res.MaxIntra(d) <= 4*delta+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMembersPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	pts := randPoints(r, 40, 500)
+	res, err := Greedy(40, planarDist(pts), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 40)
+	total := 0
+	for _, m := range res.Members() {
+		for _, i := range m {
+			if seen[i] {
+				t.Fatalf("item %d in two clusters", i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	if total != 40 {
+		t.Fatalf("members cover %d of 40 items", total)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	res := Result{K: 2, Assign: []int{0, 1, 5}}
+	if err := res.Validate(3); err == nil {
+		t.Fatal("out-of-range cluster must fail validation")
+	}
+	res = Result{K: 3, Assign: []int{0, 1, 1}}
+	if err := res.Validate(3); err == nil {
+		t.Fatal("empty cluster must fail validation")
+	}
+	res = Result{K: 2, Assign: []int{0, 1}}
+	if err := res.Validate(3); err == nil {
+		t.Fatal("short assignment must fail validation")
+	}
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewILPModelValidation(t *testing.T) {
+	d := planarDist([][2]float64{{0, 0}})
+	if _, err := NewILPModel(0, d, 1); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := NewILPModel(1, d, -1); err == nil {
+		t.Fatal("negative delta must error")
+	}
+}
+
+func TestILPModelCounts(t *testing.T) {
+	pts := [][2]float64{{0, 0}, {1, 0}, {10, 0}}
+	m, err := NewILPModel(3, planarDist(pts), 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conflicts: (0,2) and (1,2) — both 9+ apart; (0,1) is within δ.
+	if len(m.Conflicts) != 2 {
+		t.Fatalf("conflicts = %v", m.Conflicts)
+	}
+	if m.NumVariables() != 3*3+3+1 {
+		t.Fatalf("variables = %d", m.NumVariables())
+	}
+	want := 1 + 9 + 3 + 2*3
+	if m.NumConstraints() != want {
+		t.Fatalf("constraints = %d, want %d", m.NumConstraints(), want)
+	}
+}
+
+func TestILPLPFormat(t *testing.T) {
+	pts := [][2]float64{{0, 0}, {10, 0}}
+	m, err := NewILPModel(2, planarDist(pts), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := m.LPFormat()
+	for _, frag := range []string{
+		"Minimize", "obj: m", "Subject To",
+		"+ y0 + y1 - m <= 0",
+		"x0_0 - y0 <= 0",
+		"+ x0_0 + x0_1 = 1",
+		"x0_0 + x1_0 <= 1", // the conflict pair
+		"Binary", "End",
+	} {
+		if !strings.Contains(lp, frag) {
+			t.Fatalf("LP output missing %q:\n%s", frag, lp)
+		}
+	}
+}
+
+func TestBranchAndBoundValidation(t *testing.T) {
+	d := planarDist([][2]float64{{0, 0}})
+	if _, err := BranchAndBound(0, d, 1, 0); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := BranchAndBound(1, d, -1, 0); err == nil {
+		t.Fatal("negative delta must error")
+	}
+}
+
+func TestBranchAndBoundMatchesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + r.Intn(9) // 4..12: within Exact's comfortable range
+		pts := randPoints(r, n, 100)
+		d := planarDist(pts)
+		delta := 15 + r.Float64()*50
+
+		exact, err := Exact(n, d, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bnb, err := BranchAndBound(n, d, delta, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bnb.K != exact.K {
+			t.Fatalf("trial %d (n=%d δ=%.1f): bnb=%d exact=%d", trial, n, delta, bnb.K, exact.K)
+		}
+		if err := bnb.Validate(n); err != nil {
+			t.Fatal(err)
+		}
+		if intra := bnb.MaxIntra(d); intra > delta+1e-9 {
+			t.Fatalf("bnb solution violates δ: %v > %v", intra, delta)
+		}
+	}
+}
+
+func TestBranchAndBoundBeyondExactRange(t *testing.T) {
+	// 30 items — beyond MaxExactItems — solved exactly; verify
+	// feasibility and that GreedySearch's bicriteria answer never beats
+	// it in cluster count at the true δ.
+	r := rand.New(rand.NewSource(5))
+	n := 30
+	pts := randPoints(r, n, 300)
+	d := planarDist(pts)
+	delta := 80.0
+
+	res, err := BranchAndBound(n, d, delta, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	if intra := res.MaxIntra(d); intra > delta+1e-9 {
+		t.Fatalf("δ violated: %v", intra)
+	}
+	gs, _, err := GreedySearch(n, d, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 6 from the other side: GreedySearch uses k_ALG ≤ k_OPT
+	// clusters (it stretches δ instead).
+	if gs.K > res.K {
+		t.Fatalf("GreedySearch used %d clusters > exact optimum %d", gs.K, res.K)
+	}
+}
+
+func TestBranchAndBoundNodeBudget(t *testing.T) {
+	// A pathological budget must abort cleanly rather than hang.
+	r := rand.New(rand.NewSource(6))
+	n := 24
+	pts := randPoints(r, n, 100)
+	d := planarDist(pts)
+	if _, err := BranchAndBound(n, d, 30, 10); err == nil {
+		t.Fatal("a 10-node budget cannot solve a 24-item instance")
+	}
+}
+
+func TestBranchAndBoundSingletons(t *testing.T) {
+	// All points mutually conflicting: n clusters.
+	pts := [][2]float64{{0, 0}, {100, 0}, {0, 100}, {100, 100}}
+	res, err := BranchAndBound(4, planarDist(pts), 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 4 {
+		t.Fatalf("K = %d, want 4", res.K)
+	}
+	// All points compatible: one cluster.
+	res, err = BranchAndBound(4, planarDist(pts), 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Fatalf("K = %d, want 1", res.K)
+	}
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+
+	"xar/internal/index"
+	"xar/internal/roadnet"
+)
+
+// Book confirms a match (§VIII-B). It re-validates the match against the
+// ride's current state (the ride may have moved or accepted other
+// bookings since the search), chooses the concrete pickup and drop-off
+// landmarks, computes the at-most-four shortest paths the paper
+// prescribes, splices the new via-points into the route, charges the
+// exact detour against the ride's remaining budget, consumes a seat and
+// re-registers the ride's cluster information.
+//
+// The exact detour may exceed the cluster-approximated estimate by up to
+// the additive 4ε bound; unless Config.StrictDetour is set, the booking
+// is allowed to overshoot the remaining budget by at most 4ε, matching
+// the paper's guarantee.
+func (e *Engine) Book(m Match, req Request) (Booking, error) {
+	if err := req.Validate(); err != nil {
+		return Booking{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	r := e.ix.Ride(m.Ride)
+	if r == nil {
+		e.m.bookingsFailed.Add(1)
+		return Booking{}, ErrUnknownRide
+	}
+	if r.SeatsAvail <= 0 {
+		e.m.bookingsFailed.Add(1)
+		return Booking{}, ErrRideFull
+	}
+
+	// Re-derive the best valid support pair; the search's snapshot may be
+	// stale.
+	fresh, ok := e.checkDetourAndOrder(r, m.PickupCluster, m.DropoffCluster)
+	if !ok {
+		return Booking{}, ErrNoLongerFeasible
+	}
+
+	// Concrete pickup/drop-off landmarks: the nearest landmark of each
+	// matched cluster to the requester's endpoints. The walk to them must
+	// respect the request's limit.
+	puLM, walkSrc := e.disc.NearestLandmarkInCluster(req.Source, m.PickupCluster)
+	doLM, walkDst := e.disc.NearestLandmarkInCluster(req.Dest, m.DropoffCluster)
+	if puLM < 0 || doLM < 0 {
+		return Booking{}, ErrNoLongerFeasible
+	}
+	if walkSrc+walkDst > req.WalkLimit {
+		return Booking{}, ErrNoLongerFeasible
+	}
+	puNode := e.disc.Landmarks[puLM].Node
+	doNode := e.disc.Landmarks[doLM].Node
+
+	sSeg, dSeg := fresh.pickupSeg(), fresh.dropoffSeg()
+	if sSeg > dSeg {
+		return Booking{}, ErrNoLongerFeasible
+	}
+	// The vehicle must not have passed the splice start.
+	if r.Via[sSeg].RouteIdx < r.Progress {
+		return Booking{}, ErrNoLongerFeasible
+	}
+
+	oldLen, err := e.disc.City().Graph.PathLength(r.Route)
+	if err != nil {
+		return Booking{}, fmt.Errorf("xar: corrupt route on ride %d: %w", r.ID, err)
+	}
+
+	// Refine the detour estimate with the precomputed landmark-distance
+	// matrix now that the concrete pickup/drop-off landmarks are known.
+	// Still no shortest-path computation: this is a table lookup chain,
+	// and it is the "approximated detour" the paper's Figure 3a compares
+	// against the exact splice cost.
+	estimate := e.refineDetourEstimate(r, sSeg, dSeg, puLM, doLM, fresh.DetourEstimate)
+
+	newRoute, newVia, spRuns, err := e.spliceRoute(r, sSeg, dSeg, puNode, doNode)
+	if err != nil {
+		return Booking{}, err
+	}
+	newLen, err := e.disc.City().Graph.PathLength(newRoute)
+	if err != nil {
+		return Booking{}, fmt.Errorf("xar: spliced route invalid: %w", err)
+	}
+	detour := newLen - oldLen
+	if detour < 0 {
+		detour = 0
+	}
+	allowance := 0.0
+	if !e.cfg.StrictDetour {
+		allowance = 4 * e.disc.Epsilon()
+	}
+	if detour > r.DetourLimit+allowance {
+		return Booking{}, ErrDetourExceeded
+	}
+
+	// Commit: route, via-points, ETAs, budget, seats; then rebuild the
+	// cluster registrations.
+	r.Route = newRoute
+	r.RouteETA = e.computeETAs(newRoute, r.Departure)
+	for i := range newVia {
+		newVia[i].ETA = r.RouteETA[newVia[i].RouteIdx]
+	}
+	r.Via = newVia
+	r.DetourLimit -= detour
+	if r.DetourLimit < 0 {
+		r.DetourLimit = 0
+	}
+	r.SeatsAvail--
+	if err := e.ix.Reregister(r); err != nil {
+		return Booking{}, err
+	}
+
+	e.m.bookings.Add(1)
+	e.m.shortestPaths.Add(uint64(spRuns))
+
+	var puETA, doETA float64
+	for _, v := range r.Via {
+		if v.Node == puNode && v.Kind == index.ViaPickup {
+			puETA = v.ETA
+		}
+		if v.Node == doNode && v.Kind == index.ViaDropoff {
+			doETA = v.ETA
+		}
+	}
+	return Booking{
+		Ride:             r.ID,
+		PickupLandmark:   puLM,
+		DropoffLandmark:  doLM,
+		PickupNode:       puNode,
+		DropoffNode:      doNode,
+		PickupETA:        puETA,
+		DropoffETA:       doETA,
+		WalkSource:       walkSrc,
+		WalkDest:         walkDst,
+		DetourEstimate:   estimate,
+		DetourActual:     detour,
+		ShortestPathRuns: spRuns,
+	}, nil
+}
+
+// refineDetourEstimate predicts the booking's exact splice detour from
+// the precomputed landmark-to-landmark driving distances: the chain
+// through the via-points' landmarks and the chosen pickup/drop-off
+// landmarks. Falls back to the cluster-level estimate when a via node
+// has no landmark within Δ.
+func (e *Engine) refineDetourEstimate(r *index.Ride, sSeg, dSeg, puLM, doLM int, fallback float64) float64 {
+	lmOf := func(v roadnet.NodeID) int {
+		lm, _ := e.disc.LandmarkOfNode(v)
+		return lm
+	}
+	d := e.disc.LandmarkDist
+	if sSeg == dSeg {
+		s1, s2 := lmOf(r.Via[sSeg].Node), lmOf(r.Via[sSeg+1].Node)
+		if s1 < 0 || s2 < 0 {
+			return fallback
+		}
+		est := d(s1, puLM) + d(puLM, doLM) + d(doLM, s2) - d(s1, s2)
+		if est < 0 {
+			est = 0
+		}
+		return est
+	}
+	s1, s2 := lmOf(r.Via[sSeg].Node), lmOf(r.Via[sSeg+1].Node)
+	d1, d2 := lmOf(r.Via[dSeg].Node), lmOf(r.Via[dSeg+1].Node)
+	if s1 < 0 || s2 < 0 || d1 < 0 || d2 < 0 {
+		return fallback
+	}
+	est := (d(s1, puLM) + d(puLM, s2) - d(s1, s2)) +
+		(d(d1, doLM) + d(doLM, d2) - d(d1, d2))
+	if est < 0 {
+		est = 0
+	}
+	return est
+}
+
+// pickupSeg and dropoffSeg expose the segment of the chosen supports.
+// Supports carry the pass-through order; the segment is what booking
+// splices into. We recover it via the stored orders.
+func (m Match) pickupSeg() int  { return m.pickupSegv }
+func (m Match) dropoffSeg() int { return m.dropoffSegv }
+
+// spliceRoute builds the new route and via-point list for a pickup in
+// segment sSeg and a drop-off in segment dSeg (sSeg ≤ dSeg), running at
+// most four shortest-path searches (three when sSeg == dSeg).
+func (e *Engine) spliceRoute(r *index.Ride, sSeg, dSeg int, pu, do roadnet.NodeID) ([]roadnet.NodeID, []index.ViaPoint, int, error) {
+	sp := func(a, b roadnet.NodeID) ([]roadnet.NodeID, error) {
+		if a == b {
+			return []roadnet.NodeID{a}, nil
+		}
+		res := e.searcher.ShortestPath(a, b)
+		if !res.Reachable() {
+			return nil, ErrUnreachable
+		}
+		return res.Path, nil
+	}
+
+	b := routeBuilder{}
+	runs := 0
+
+	if sSeg == dSeg {
+		// s1 → pu → do → s2: three searches.
+		s1 := r.Via[sSeg]
+		s2 := r.Via[sSeg+1]
+		p1, err := sp(s1.Node, pu)
+		if err != nil {
+			return nil, nil, runs, err
+		}
+		runs++
+		p2, err := sp(pu, do)
+		if err != nil {
+			return nil, nil, runs, err
+		}
+		runs++
+		p3, err := sp(do, s2.Node)
+		if err != nil {
+			return nil, nil, runs, err
+		}
+		runs++
+
+		b.appendRoute(r.Route[:s1.RouteIdx+1])
+		b.copyVias(r.Via[:sSeg+1], 0)
+		b.appendPath(p1)
+		b.addVia(pu, index.ViaPickup)
+		b.appendPath(p2)
+		b.addVia(do, index.ViaDropoff)
+		b.appendPath(p3)
+		b.markVia(s2)
+		delta := (len(b.route) - 1) - s2.RouteIdx
+		b.appendRoute(r.Route[s2.RouteIdx+1:])
+		b.copyVias(r.Via[sSeg+2:], delta)
+		return b.route, b.via, runs, nil
+	}
+
+	// Different segments: s1 → pu → s2 … d1 → do → d2 — four searches.
+	s1, s2 := r.Via[sSeg], r.Via[sSeg+1]
+	d1, d2 := r.Via[dSeg], r.Via[dSeg+1]
+	p1, err := sp(s1.Node, pu)
+	if err != nil {
+		return nil, nil, runs, err
+	}
+	runs++
+	p2, err := sp(pu, s2.Node)
+	if err != nil {
+		return nil, nil, runs, err
+	}
+	runs++
+	p3, err := sp(d1.Node, do)
+	if err != nil {
+		return nil, nil, runs, err
+	}
+	runs++
+	p4, err := sp(do, d2.Node)
+	if err != nil {
+		return nil, nil, runs, err
+	}
+	runs++
+
+	b.appendRoute(r.Route[:s1.RouteIdx+1])
+	b.copyVias(r.Via[:sSeg+1], 0)
+	b.appendPath(p1)
+	b.addVia(pu, index.ViaPickup)
+	b.appendPath(p2)
+	b.markVia(s2)
+	deltaMid := (len(b.route) - 1) - s2.RouteIdx
+	// Middle chunk: everything strictly between s2 and d1, then d1 and
+	// any untouched via-points in between (shifted by deltaMid).
+	b.appendRoute(r.Route[s2.RouteIdx+1 : d1.RouteIdx+1])
+	b.copyVias(r.Via[sSeg+2:dSeg+1], deltaMid)
+	b.appendPath(p3)
+	b.addVia(do, index.ViaDropoff)
+	b.appendPath(p4)
+	b.markVia(d2)
+	deltaSuf := (len(b.route) - 1) - d2.RouteIdx
+	b.appendRoute(r.Route[d2.RouteIdx+1:])
+	b.copyVias(r.Via[dSeg+2:], deltaSuf)
+	return b.route, b.via, runs, nil
+}
+
+// routeBuilder assembles a spliced route while tracking via positions.
+type routeBuilder struct {
+	route []roadnet.NodeID
+	via   []index.ViaPoint
+}
+
+// appendRoute appends raw route nodes (no deduplication needed: chunks
+// are contiguous slices of the old route).
+func (b *routeBuilder) appendRoute(nodes []roadnet.NodeID) {
+	b.route = append(b.route, nodes...)
+}
+
+// appendPath appends a shortest path, skipping its first node (already
+// present as the last node of the route so far).
+func (b *routeBuilder) appendPath(path []roadnet.NodeID) {
+	if len(b.route) > 0 && len(path) > 0 && b.route[len(b.route)-1] == path[0] {
+		path = path[1:]
+	}
+	b.route = append(b.route, path...)
+}
+
+// addVia records a new via-point at the current route end.
+func (b *routeBuilder) addVia(node roadnet.NodeID, kind index.ViaKind) {
+	b.via = append(b.via, index.ViaPoint{
+		RouteIdx: len(b.route) - 1,
+		Node:     node,
+		Kind:     kind,
+	})
+}
+
+// markVia re-records an existing via-point at the current route end.
+func (b *routeBuilder) markVia(v index.ViaPoint) {
+	b.via = append(b.via, index.ViaPoint{
+		RouteIdx: len(b.route) - 1,
+		Node:     v.Node,
+		Kind:     v.Kind,
+	})
+}
+
+// copyVias carries over untouched via-points from the old ride. Old route
+// chunks are appended verbatim, so each via's new position is its old
+// RouteIdx plus the chunk's displacement delta.
+func (b *routeBuilder) copyVias(vias []index.ViaPoint, delta int) {
+	for _, v := range vias {
+		b.via = append(b.via, index.ViaPoint{RouteIdx: v.RouteIdx + delta, Node: v.Node, Kind: v.Kind})
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// bookOne creates a ride, searches along its corridor and books the
+// first match, returning everything a cancellation test needs.
+func bookOne(t *testing.T, e *Engine) (bk Booking, req Request) {
+	t.Helper()
+	src, dst := farPoints(t, e)
+	id, err := e.CreateRide(RideOffer{Source: src, Dest: dst, Departure: 1000, DetourLimit: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Ride(id)
+	req = requestAlong(e, r, 0.3, 0.7, 3600, 900)
+	ms, err := e.Search(req)
+	if err != nil || len(ms) == 0 {
+		t.Fatalf("search: %v / %d matches", err, len(ms))
+	}
+	bk, err = e.Book(ms[0], req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bk, req
+}
+
+func TestCancelBookingRestoresRide(t *testing.T) {
+	e := newTestEngine(t)
+	bk, _ := bookOne(t, e)
+	r := e.Ride(bk.Ride)
+
+	seatsAfterBook := r.SeatsAvail
+	viasAfterBook := len(r.Via)
+	lenAfterBook, _ := e.disc.City().Graph.PathLength(r.Route)
+
+	if err := e.CancelBooking(bk.Ride, bk.PickupNode, bk.DropoffNode); err != nil {
+		t.Fatal(err)
+	}
+	if r.SeatsAvail != seatsAfterBook+1 {
+		t.Fatalf("seats %d → %d; cancellation must return the seat", seatsAfterBook, r.SeatsAvail)
+	}
+	if len(r.Via) != viasAfterBook-2 {
+		t.Fatalf("vias %d → %d; want -2", viasAfterBook, len(r.Via))
+	}
+	lenAfterCancel, err := e.disc.City().Graph.PathLength(r.Route)
+	if err != nil {
+		t.Fatalf("route corrupted by cancel: %v", err)
+	}
+	if lenAfterCancel > lenAfterBook+1 {
+		t.Fatalf("route grew on cancel: %.1f → %.1f", lenAfterBook, lenAfterCancel)
+	}
+	// The booking-free ride has its full budget back.
+	if math.Abs(lenAfterCancel-r.BaseRouteLen) < 1 && math.Abs(r.DetourLimit-r.DetourLimitInitial) > 1 {
+		t.Fatalf("detour budget %.1f not restored to %.1f", r.DetourLimit, r.DetourLimitInitial)
+	}
+	// Index invariants survive.
+	if err := e.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Via nodes still sit at their claimed route indices.
+	for _, v := range r.Via {
+		if r.Route[v.RouteIdx] != v.Node {
+			t.Fatalf("via %v not at route index %d", v.Node, v.RouteIdx)
+		}
+	}
+}
+
+func TestCancelBookingThenRebook(t *testing.T) {
+	e := newTestEngine(t)
+	bk, req := bookOne(t, e)
+	if err := e.CancelBooking(bk.Ride, bk.PickupNode, bk.DropoffNode); err != nil {
+		t.Fatal(err)
+	}
+	// The same request can book again after the cancellation.
+	ms, err := e.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range ms {
+		if m.Ride == bk.Ride {
+			found = true
+			if _, err := e.Book(m, req); err != nil {
+				t.Fatalf("rebook failed: %v", err)
+			}
+			break
+		}
+	}
+	if !found {
+		t.Fatal("cancelled ride no longer matchable for the same request")
+	}
+}
+
+func TestCancelBookingErrors(t *testing.T) {
+	e := newTestEngine(t)
+	if err := e.CancelBooking(999, 1, 2); err != ErrUnknownRide {
+		t.Fatalf("err = %v, want ErrUnknownRide", err)
+	}
+	bk, _ := bookOne(t, e)
+	// Wrong nodes: no such booking.
+	if err := e.CancelBooking(bk.Ride, bk.DropoffNode, bk.PickupNode); err == nil {
+		t.Fatal("swapped nodes must not identify a booking")
+	}
+	// Double cancellation.
+	if err := e.CancelBooking(bk.Ride, bk.PickupNode, bk.DropoffNode); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CancelBooking(bk.Ride, bk.PickupNode, bk.DropoffNode); err == nil {
+		t.Fatal("double cancellation must fail")
+	}
+}
+
+func TestCancelAfterPickupRejected(t *testing.T) {
+	e := newTestEngine(t)
+	bk, _ := bookOne(t, e)
+	r := e.Ride(bk.Ride)
+	// Drive the vehicle past the pickup.
+	var puRouteIdx int
+	for _, v := range r.Via {
+		if v.Node == bk.PickupNode {
+			puRouteIdx = v.RouteIdx
+		}
+	}
+	if _, err := e.Track(bk.Ride, r.RouteETA[puRouteIdx]+1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Progress <= 0 {
+		t.Skip("vehicle did not move; timing-dependent")
+	}
+	if r.Via[0].RouteIdx >= r.Progress {
+		t.Skip("pickup still ahead; layout-dependent")
+	}
+	err := e.CancelBooking(bk.Ride, bk.PickupNode, bk.DropoffNode)
+	if err == nil && r.Progress > puRouteIdx {
+		t.Fatal("cancellation after pickup must be rejected")
+	}
+}

@@ -1,0 +1,339 @@
+// Package core implements the XAR run-time unit: creating ride offers,
+// the optimized two-step ride search (§VII of the paper), ride tracking
+// (§VIII-A) and ride booking (§VIII-B).
+//
+// The central design decision reproduced here is that the search path
+// performs *no shortest-path computation*: candidate generation and all
+// feasibility checks run on the precomputed cluster structures of the
+// in-memory index. Shortest paths are computed exactly twice in a ride's
+// life-cycle — when the offer is created and when a booking is confirmed
+// (at most four single-pair searches per booking, per the paper).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"xar/internal/discretize"
+	"xar/internal/geo"
+	"xar/internal/index"
+	"xar/internal/roadnet"
+)
+
+// Sentinel errors returned by the engine.
+var (
+	// ErrNotServable means a location has neither a landmark within Δ nor
+	// any walkable cluster: the system cannot serve it (§IV).
+	ErrNotServable = errors.New("xar: location not servable by the discretization")
+	// ErrUnknownRide means the ride ID is not registered.
+	ErrUnknownRide = errors.New("xar: unknown ride")
+	// ErrRideFull means the ride has no seats left.
+	ErrRideFull = errors.New("xar: ride has no available seats")
+	// ErrNoLongerFeasible means the match became invalid between search
+	// and booking (the ride moved, or another booking consumed the
+	// detour budget).
+	ErrNoLongerFeasible = errors.New("xar: match no longer feasible")
+	// ErrDetourExceeded means the exact booking detour exceeds the
+	// ride's remaining budget plus the 4ε approximation allowance.
+	ErrDetourExceeded = errors.New("xar: booking detour exceeds limit")
+	// ErrUnreachable means no driving route connects the endpoints.
+	ErrUnreachable = errors.New("xar: no route between endpoints")
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Index is passed through to the in-memory index.
+	Index index.Config
+	// DefaultDetourLimit (meters) applies to offers that leave
+	// DetourLimit zero.
+	DefaultDetourLimit float64
+	// DefaultSeats applies to offers that leave Seats zero. The paper's
+	// simulation assumes taxi capacity 4 including the driver.
+	DefaultSeats int
+	// DestWindowSlack (seconds) widens the destination-side time window:
+	// the ride reaches the drop-off cluster after the pickup, up to one
+	// maximum trip duration later.
+	DestWindowSlack float64
+	// StrictDetour rejects bookings whose exact detour exceeds the
+	// remaining budget at all; the default allows the paper's additive
+	// 4ε approximation overshoot.
+	StrictDetour bool
+	// UseALTPaths accelerates the engine's shortest-path computations
+	// (ride creation, booking splices, cancellations) with the ALT
+	// heuristic at the cost of extra preprocessing (2·ALTSeeds full
+	// Dijkstras). Results are identical; only speed changes.
+	UseALTPaths bool
+	// ALTSeeds is the ALT landmark count (0 → 8).
+	ALTSeeds int
+	// UseCongestionProfile scales ETA computation by the time-of-day
+	// congestion factor (roadnet.SpeedFactor): rides departing in the AM
+	// or PM peak take up to ~1.8× longer than free flow, which the
+	// paper's "time of arrival is estimated from historical travel
+	// times" prescribes. Route geometry is unaffected.
+	UseCongestionProfile bool
+}
+
+// DefaultConfig returns production defaults.
+func DefaultConfig() Config {
+	return Config{
+		Index:              index.DefaultConfig(),
+		DefaultDetourLimit: 2000,
+		DefaultSeats:       4,
+		DestWindowSlack:    3600,
+	}
+}
+
+// RideOffer is the input of CreateRide.
+type RideOffer struct {
+	Source, Dest geo.Point
+	Departure    float64 // seconds since epoch
+	Seats        int     // total capacity incl. driver (0 → default)
+	DetourLimit  float64 // meters the driver accepts (0 → default)
+	Owner        UserID  // driver identity for social ranking (optional)
+}
+
+// Request is a ride request (§VII): source, destination, departure time
+// window and walking threshold.
+type Request struct {
+	Source, Dest geo.Point
+	// EarliestDeparture/LatestDeparture bound the pickup time.
+	EarliestDeparture, LatestDeparture float64
+	// WalkLimit is the requester's maximum total walking distance in
+	// meters (source-side walk + destination-side walk).
+	WalkLimit float64
+}
+
+// Validate reports request errors.
+func (r Request) Validate() error {
+	if !r.Source.Valid() || !r.Dest.Valid() {
+		return fmt.Errorf("xar: invalid request coordinates")
+	}
+	if r.LatestDeparture < r.EarliestDeparture {
+		return fmt.Errorf("xar: inverted departure window [%v, %v]", r.EarliestDeparture, r.LatestDeparture)
+	}
+	if r.WalkLimit < 0 {
+		return fmt.Errorf("xar: negative walk limit %v", r.WalkLimit)
+	}
+	return nil
+}
+
+// Match is one feasible ride option for a request. All quantities come
+// from the index (cluster distances) — no shortest path was computed.
+type Match struct {
+	Ride           index.RideID
+	PickupCluster  int
+	DropoffCluster int
+	WalkSource     float64 // meters of walking at the source side
+	WalkDest       float64 // meters of walking at the destination side
+	DetourEstimate float64 // meters of extra driving, cluster-approximated
+	PickupETA      float64 // ride's estimated arrival in the pickup cluster
+	DropoffETA     float64
+	pickupOrder    int // route order of the supporting pass-through
+	dropoffOrder   int
+	pickupSegv     int // segment of the supporting pass-through (pickup)
+	dropoffSegv    int // segment of the supporting pass-through (drop-off)
+}
+
+// TotalWalk is the match's combined walking distance, the quantity the
+// paper's simulation minimizes when choosing among multiple matches.
+func (m Match) TotalWalk() float64 { return m.WalkSource + m.WalkDest }
+
+// Booking is the confirmed result of Book.
+type Booking struct {
+	Ride             index.RideID
+	PickupLandmark   int
+	DropoffLandmark  int
+	PickupNode       roadnet.NodeID
+	DropoffNode      roadnet.NodeID
+	PickupETA        float64
+	DropoffETA       float64
+	WalkSource       float64
+	WalkDest         float64
+	DetourEstimate   float64 // what the index predicted (cluster distances)
+	DetourActual     float64 // what the spliced route actually costs
+	ShortestPathRuns int     // ≤ 4, per §VIII-B
+}
+
+// ApproxError is the additive error of the cluster approximation for this
+// booking: how much the exact detour exceeded the estimate. The paper
+// bounds it by 4ε and evaluates its CDF in Figure 3a.
+func (b Booking) ApproxError() float64 {
+	e := b.DetourActual - b.DetourEstimate
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// Engine is the XAR run-time unit. Safe for concurrent use: searches
+// share a read lock; create/book/track serialize on a write lock.
+type Engine struct {
+	cfg  Config
+	disc *discretize.Discretization
+
+	mu       sync.RWMutex
+	ix       *index.Index
+	searcher pathFinder // guarded by mu (write paths only)
+
+	m metrics
+}
+
+// pathFinder is the slice of the routing layer the engine needs; both
+// the plain A* Searcher and the ALT-accelerated variant satisfy it.
+type pathFinder interface {
+	ShortestPath(a, b roadnet.NodeID) roadnet.SPResult
+}
+
+// NewEngine builds an engine over a discretization.
+func NewEngine(disc *discretize.Discretization, cfg Config) (*Engine, error) {
+	if cfg.DefaultDetourLimit < 0 {
+		return nil, fmt.Errorf("xar: negative DefaultDetourLimit")
+	}
+	if cfg.DefaultSeats < 0 {
+		return nil, fmt.Errorf("xar: negative DefaultSeats")
+	}
+	if cfg.Index.AvgSpeed == 0 {
+		cfg.Index = index.DefaultConfig()
+	}
+	ix, err := index.New(disc, cfg.Index)
+	if err != nil {
+		return nil, err
+	}
+	var finder pathFinder = roadnet.NewSearcher(disc.City().Graph)
+	if cfg.UseALTPaths {
+		alt, err := roadnet.NewALT(disc.City().Graph, cfg.ALTSeeds)
+		if err != nil {
+			return nil, err
+		}
+		finder = alt.NewSearcher()
+	}
+	return &Engine{
+		cfg:      cfg,
+		disc:     disc,
+		ix:       ix,
+		searcher: finder,
+	}, nil
+}
+
+// Disc returns the engine's discretization.
+func (e *Engine) Disc() *discretize.Discretization { return e.disc }
+
+// Index returns the underlying index (memory measurement, tests). The
+// caller must not mutate it concurrently with engine operations.
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// NumRides returns the number of active rides.
+func (e *Engine) NumRides() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ix.NumRides()
+}
+
+// CreateRide registers a new ride offer: it snaps the endpoints to road
+// nodes, computes the (one) shortest path of the ride's life-cycle,
+// derives per-node ETAs from edge travel times, and indexes the ride's
+// pass-through and reachable clusters.
+func (e *Engine) CreateRide(offer RideOffer) (index.RideID, error) {
+	if !offer.Source.Valid() || !offer.Dest.Valid() {
+		return 0, fmt.Errorf("xar: invalid offer coordinates")
+	}
+	seats := offer.Seats
+	if seats == 0 {
+		seats = e.cfg.DefaultSeats
+	}
+	if seats < 2 {
+		return 0, fmt.Errorf("xar: offer needs capacity >= 2 (driver + rider), got %d", seats)
+	}
+	detour := offer.DetourLimit
+	if detour == 0 {
+		detour = e.cfg.DefaultDetourLimit
+	}
+	if detour < 0 {
+		return 0, fmt.Errorf("xar: negative detour limit %v", detour)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	city := e.disc.City()
+	srcNode, _ := city.SnapToNode(offer.Source)
+	dstNode, _ := city.SnapToNode(offer.Dest)
+	if srcNode == roadnet.InvalidNode || dstNode == roadnet.InvalidNode {
+		return 0, ErrNotServable
+	}
+	if srcNode == dstNode {
+		return 0, fmt.Errorf("xar: offer endpoints snap to the same road node")
+	}
+	e.m.shortestPaths.Add(1)
+	res := e.searcher.ShortestPath(srcNode, dstNode)
+	if !res.Reachable() {
+		return 0, ErrUnreachable
+	}
+
+	r := &index.Ride{
+		ID:                 e.ix.NextID(),
+		Owner:              int64(offer.Owner),
+		Source:             offer.Source,
+		Dest:               offer.Dest,
+		Departure:          offer.Departure,
+		SeatsTotal:         seats,
+		SeatsAvail:         seats - 1, // driver occupies one
+		Route:              res.Path,
+		DetourLimit:        detour,
+		DetourLimitInitial: detour,
+		BaseRouteLen:       res.Dist,
+	}
+	r.RouteETA = e.computeETAs(res.Path, offer.Departure)
+	r.Via = []index.ViaPoint{
+		{RouteIdx: 0, Node: srcNode, ETA: r.RouteETA[0], Kind: index.ViaSource},
+		{RouteIdx: len(res.Path) - 1, Node: dstNode, ETA: r.RouteETA[len(res.Path)-1], Kind: index.ViaDest},
+	}
+	if err := e.ix.Insert(r); err != nil {
+		return 0, err
+	}
+	e.m.ridesCreated.Add(1)
+	return r.ID, nil
+}
+
+// computeETAs returns cumulative arrival times along a route starting at
+// start: per-edge free-flow travel times, optionally scaled by the
+// time-of-day congestion profile at each edge's (estimated) traversal
+// time — the "historical travel times" of §VI.
+func (e *Engine) computeETAs(route []roadnet.NodeID, start float64) []float64 {
+	g := e.disc.City().Graph
+	etas := make([]float64, len(route))
+	etas[0] = start
+	for i := 1; i < len(route); i++ {
+		t, err := g.TravelTime(route[i-1 : i+1])
+		if err != nil {
+			// Route invariant violated; fall back to straight-line time
+			// rather than corrupting every downstream ETA.
+			t = geo.Haversine(g.Point(route[i-1]), g.Point(route[i])) / 7.0
+		}
+		if e.cfg.UseCongestionProfile {
+			hour := etas[i-1] / 3600 // seconds of day → hour, 24h periodic
+			t *= roadnet.SpeedFactor(hour)
+		}
+		etas[i] = etas[i-1] + t
+	}
+	return etas
+}
+
+// Ride returns a snapshot view of a ride (nil if unknown).
+func (e *Engine) Ride(id index.RideID) *index.Ride {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ix.Ride(id)
+}
+
+// CompleteRide removes a finished or cancelled ride from the system.
+func (e *Engine) CompleteRide(id index.RideID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.ix.Remove(id) {
+		return false
+	}
+	e.m.ridesCompleted.Add(1)
+	return true
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"testing"
+
+	"xar/internal/discretize"
+	"xar/internal/geo"
+	"xar/internal/roadnet"
+)
+
+// Failure-injection suite: exercises the degraded and adversarial
+// conditions §IV anticipates (remote grids, unservable requests) plus
+// operational edge cases (zero limits, budget exhaustion, races between
+// search and book).
+
+func TestRequestFromRemoteGridNotServed(t *testing.T) {
+	e := newTestEngine(t)
+	// A point far outside the padded region: no grid at all.
+	far := geo.Point{Lat: 40.70, Lng: -73.00}
+	req := Request{
+		Source: far, Dest: far,
+		LatestDeparture: 100, WalkLimit: 500,
+	}
+	if _, err := e.Search(req); err != ErrNotServable {
+		t.Fatalf("err = %v, want ErrNotServable", err)
+	}
+	// Paper: "If a grid is neither in the driving distance of a landmark
+	// ... nor within the walking distance of any landmarks/cluster, then
+	// requests from it will not be served."
+	if e.disc.Servable(far) {
+		t.Fatal("far point reported servable")
+	}
+}
+
+func TestZeroWalkLimitRequest(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	if _, err := e.CreateRide(RideOffer{Source: src, Dest: dst, Departure: 0, DetourLimit: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Zero walking tolerance: only a grid whose walkable list contains a
+	// zero-distance cluster could serve it; generally nothing matches,
+	// and the request must be cleanly unservable rather than crash.
+	req := Request{
+		Source: src, Dest: dst,
+		EarliestDeparture: 0, LatestDeparture: 3600, WalkLimit: 0,
+	}
+	ms, err := e.Search(req)
+	if err != nil && err != ErrNotServable {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.TotalWalk() > 0 {
+			t.Fatal("zero-walk request matched with walking")
+		}
+	}
+}
+
+func TestDetourBudgetExhaustion(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	id, err := e.CreateRide(RideOffer{Source: src, Dest: dst, Departure: 0, Seats: 8, DetourLimit: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Ride(id)
+	// Book repeatedly until the budget runs out; the budget must never
+	// go meaningfully negative and bookings must stop.
+	for i := 0; i < 10; i++ {
+		req := requestAlong(e, r, 0.2+float64(i%3)*0.1, 0.6+float64(i%3)*0.1, 1e6, 1000)
+		ms, err := e.Search(req)
+		if err != nil || len(ms) == 0 {
+			break
+		}
+		if _, err := e.Book(ms[0], req); err != nil {
+			break
+		}
+	}
+	if r.DetourLimit < 0 {
+		t.Fatalf("detour budget went negative: %v", r.DetourLimit)
+	}
+	if err := e.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrictDetourRejectsOvershoot(t *testing.T) {
+	city, err := roadnet.GenerateCity(roadnet.DefaultCityConfig(24, 14, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := discretize.Build(city, discretize.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.StrictDetour = true
+	e, err := NewEngine(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := city.Graph
+	src := g.Point(0)
+	dst := g.Point(roadnet.NodeID(g.NumNodes() - 1))
+	id, err := e.CreateRide(RideOffer{Source: src, Dest: dst, Departure: 0, DetourLimit: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Ride(id)
+	// Every successful strict-mode booking must respect the budget with
+	// zero allowance.
+	for i := 0; i < 5; i++ {
+		req := requestAlong(e, r, 0.25, 0.75, 1e6, 900)
+		ms, err := e.Search(req)
+		if err != nil || len(ms) == 0 {
+			break
+		}
+		before := r.DetourLimit
+		bk, err := e.Book(ms[0], req)
+		if err != nil {
+			break
+		}
+		if bk.DetourActual > before+1e-6 {
+			t.Fatalf("strict mode allowed detour %.1f > budget %.1f", bk.DetourActual, before)
+		}
+	}
+}
+
+func TestStaleMatchAfterRideFills(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	id, err := e.CreateRide(RideOffer{Source: src, Dest: dst, Departure: 0, Seats: 2, DetourLimit: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Ride(id)
+	req := requestAlong(e, r, 0.3, 0.7, 1e6, 900)
+	ms, err := e.Search(req)
+	if err != nil || len(ms) == 0 {
+		t.Skip("no match; layout-dependent")
+	}
+	// Hold the match, fill the only seat through another booking, then
+	// try to book the stale match.
+	if _, err := e.Book(ms[0], req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Book(ms[0], req); err != ErrRideFull && err != ErrNoLongerFeasible {
+		t.Fatalf("stale booking err = %v, want full/no-longer-feasible", err)
+	}
+}
+
+func TestStaleMatchAfterRideCompletes(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	id, err := e.CreateRide(RideOffer{Source: src, Dest: dst, Departure: 0, DetourLimit: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Ride(id)
+	req := requestAlong(e, r, 0.3, 0.7, 1e6, 900)
+	ms, err := e.Search(req)
+	if err != nil || len(ms) == 0 {
+		t.Skip("no match; layout-dependent")
+	}
+	e.CompleteRide(id)
+	if _, err := e.Book(ms[0], req); err != ErrUnknownRide {
+		t.Fatalf("booking on a completed ride: err = %v", err)
+	}
+}
+
+func TestSearchAfterEverythingCompleted(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	for i := 0; i < 5; i++ {
+		if _, err := e.CreateRide(RideOffer{Source: src, Dest: dst, Departure: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.TrackAll(1e12); err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Source: src, Dest: dst, EarliestDeparture: 0, LatestDeparture: 1e12, WalkLimit: 1000}
+	ms, err := e.Search(req)
+	if err != nil && err != ErrNotServable {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("%d matches on an empty fleet", len(ms))
+	}
+	if err := e.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOfferOutsideRegion(t *testing.T) {
+	e := newTestEngine(t)
+	offer := RideOffer{
+		Source: geo.Point{Lat: 10, Lng: 10},
+		Dest:   geo.Point{Lat: 10.1, Lng: 10},
+	}
+	// The nearest-node snap still finds *some* node (possibly absurdly
+	// far); engines must either serve or cleanly reject, never panic.
+	if _, err := e.CreateRide(offer); err == nil {
+		// Snapped to distinct city nodes: legal, if odd. Clean up.
+		if e.NumRides() != 1 {
+			t.Fatal("accounting broken")
+		}
+	}
+}
+
+func TestManyTinyRides(t *testing.T) {
+	// Rides between adjacent intersections: degenerate but legal.
+	e := newTestEngine(t)
+	g := e.disc.City().Graph
+	created := 0
+	for v := 0; v < g.NumNodes()-1 && created < 30; v += 7 {
+		offer := RideOffer{
+			Source:    g.Point(roadnet.NodeID(v)),
+			Dest:      g.Point(roadnet.NodeID(v + 1)),
+			Departure: float64(v),
+		}
+		if _, err := e.CreateRide(offer); err == nil {
+			created++
+		}
+	}
+	if created == 0 {
+		t.Fatal("no tiny rides created")
+	}
+	if err := e.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

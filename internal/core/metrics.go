@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sync/atomic"
+)
+
+// Metrics is a snapshot of the engine's operation counters. All counters
+// are cumulative since engine creation.
+type Metrics struct {
+	Searches       uint64
+	SearchMatches  uint64 // total matches returned across searches
+	RidesCreated   uint64
+	Bookings       uint64
+	BookingsFailed uint64
+	Cancellations  uint64
+	TrackCalls     uint64
+	RidesCompleted uint64
+	ShortestPaths  uint64 // single-pair searches run (create + book + cancel)
+}
+
+// metrics is the engine-internal atomic counter block.
+type metrics struct {
+	searches       atomic.Uint64
+	searchMatches  atomic.Uint64
+	ridesCreated   atomic.Uint64
+	bookings       atomic.Uint64
+	bookingsFailed atomic.Uint64
+	cancellations  atomic.Uint64
+	trackCalls     atomic.Uint64
+	ridesCompleted atomic.Uint64
+	shortestPaths  atomic.Uint64
+}
+
+// Metrics returns a consistent-enough snapshot of the counters (each
+// counter is read atomically; cross-counter skew is possible and fine
+// for monitoring).
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		Searches:       e.m.searches.Load(),
+		SearchMatches:  e.m.searchMatches.Load(),
+		RidesCreated:   e.m.ridesCreated.Load(),
+		Bookings:       e.m.bookings.Load(),
+		BookingsFailed: e.m.bookingsFailed.Load(),
+		Cancellations:  e.m.cancellations.Load(),
+		TrackCalls:     e.m.trackCalls.Load(),
+		RidesCompleted: e.m.ridesCompleted.Load(),
+		ShortestPaths:  e.m.shortestPaths.Load(),
+	}
+}
+
+// LookToBookRatio reports the observed searches-per-booking — the
+// quantity the paper's Figure 5b sweeps. Zero bookings yields 0.
+func (m Metrics) LookToBookRatio() float64 {
+	if m.Bookings == 0 {
+		return 0
+	}
+	return float64(m.Searches) / float64(m.Bookings)
+}

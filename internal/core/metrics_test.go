@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestMetricsCountOperations(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+
+	if m := e.Metrics(); m != (Metrics{}) {
+		t.Fatalf("fresh engine has non-zero metrics: %+v", m)
+	}
+
+	id, err := e.CreateRide(RideOffer{Source: src, Dest: dst, Departure: 1000, DetourLimit: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.RidesCreated != 1 || m.ShortestPaths != 1 {
+		t.Fatalf("after create: %+v", m)
+	}
+
+	r := e.Ride(id)
+	req := requestAlong(e, r, 0.3, 0.7, 3600, 900)
+	ms, err := e.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = e.Metrics()
+	if m.Searches != 1 {
+		t.Fatalf("searches = %d", m.Searches)
+	}
+	if m.SearchMatches != uint64(len(ms)) {
+		t.Fatalf("match counter %d, search returned %d", m.SearchMatches, len(ms))
+	}
+	if len(ms) == 0 {
+		t.Skip("no match; layout-dependent")
+	}
+
+	bk, err := e.Book(ms[0], req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = e.Metrics()
+	if m.Bookings != 1 {
+		t.Fatalf("bookings = %d", m.Bookings)
+	}
+	if m.ShortestPaths != 1+uint64(bk.ShortestPathRuns) {
+		t.Fatalf("shortest paths %d, want %d", m.ShortestPaths, 1+bk.ShortestPathRuns)
+	}
+	if got := m.LookToBookRatio(); got != 1 {
+		t.Fatalf("look-to-book = %v", got)
+	}
+
+	if err := e.CancelBooking(bk.Ride, bk.PickupNode, bk.DropoffNode); err != nil {
+		t.Fatal(err)
+	}
+	if m := e.Metrics(); m.Cancellations != 1 {
+		t.Fatalf("cancellations = %d", m.Cancellations)
+	}
+
+	if _, err := e.Track(id, 1e12); err != nil {
+		t.Fatal(err)
+	}
+	if m := e.Metrics(); m.TrackCalls != 1 {
+		t.Fatalf("track calls = %d", m.TrackCalls)
+	}
+	e.CompleteRide(id)
+	if m := e.Metrics(); m.RidesCompleted != 1 {
+		t.Fatalf("completed = %d", m.RidesCompleted)
+	}
+	// Failed booking counts.
+	if _, err := e.Book(Match{Ride: 999}, req); err == nil {
+		t.Fatal("expected failure")
+	}
+	if m := e.Metrics(); m.BookingsFailed == 0 {
+		t.Fatal("failed booking not counted")
+	}
+}
+
+func TestLookToBookRatioZeroBookings(t *testing.T) {
+	if got := (Metrics{Searches: 10}).LookToBookRatio(); got != 0 {
+		t.Fatalf("ratio with no bookings = %v", got)
+	}
+	if got := (Metrics{Searches: 480, Bookings: 1}).LookToBookRatio(); got != 480 {
+		t.Fatalf("ratio = %v", got)
+	}
+}

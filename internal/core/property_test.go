@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xar/internal/index"
+)
+
+// TestEngineRandomOperationSoak interleaves every engine operation —
+// create, search, book, cancel, track (by time and by GPS), complete —
+// under a seeded random schedule, checking the index invariants and
+// global accounting after every step. This is the engine-level analogue
+// of the index's random-operation test, exercising the full state
+// machine including cancellations and re-registrations.
+func TestEngineRandomOperationSoak(t *testing.T) {
+	e := newTestEngine(t)
+	city := e.disc.City()
+	rng := rand.New(rand.NewSource(2718))
+
+	type liveBooking struct {
+		b   Booking
+		req Request
+	}
+	var rides []index.RideID
+	var bookings []liveBooking
+	now := 0.0
+
+	for step := 0; step < 400; step++ {
+		now += rng.Float64() * 30
+		switch op := rng.Intn(100); {
+		case op < 30: // create
+			a := city.RandomPoint(rng)
+			b := city.RandomPoint(rng)
+			id, err := e.CreateRide(RideOffer{
+				Source: a, Dest: b,
+				Departure:   now + rng.Float64()*600,
+				DetourLimit: 500 + rng.Float64()*2500,
+				Owner:       UserID(rng.Intn(20)),
+			})
+			if err == nil {
+				rides = append(rides, id)
+			}
+
+		case op < 65: // search (and sometimes book)
+			req := Request{
+				Source:            city.RandomPoint(rng),
+				Dest:              city.RandomPoint(rng),
+				EarliestDeparture: now,
+				LatestDeparture:   now + 900 + rng.Float64()*1800,
+				WalkLimit:         400 + rng.Float64()*600,
+			}
+			ms, err := e.Search(req)
+			if err != nil && err != ErrNotServable {
+				t.Fatalf("step %d: search: %v", step, err)
+			}
+			if len(ms) > 0 && rng.Intn(2) == 0 {
+				bk, err := e.Book(ms[0], req)
+				if err == nil {
+					bookings = append(bookings, liveBooking{b: bk, req: req})
+					if bk.ApproxError() > 4*e.disc.Epsilon()+1e-6 {
+						t.Fatalf("step %d: approx error %.1f > 4ε", step, bk.ApproxError())
+					}
+				}
+			}
+
+		case op < 75: // cancel a random booking
+			if len(bookings) == 0 {
+				continue
+			}
+			i := rng.Intn(len(bookings))
+			lb := bookings[i]
+			err := e.CancelBooking(lb.b.Ride, lb.b.PickupNode, lb.b.DropoffNode)
+			// May legitimately fail (vehicle passed pickup, ride done).
+			_ = err
+			bookings = append(bookings[:i], bookings[i+1:]...)
+
+		case op < 90: // track by time or GPS
+			if len(rides) == 0 {
+				continue
+			}
+			id := rides[rng.Intn(len(rides))]
+			r := e.Ride(id)
+			if r == nil {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				if _, err := e.Track(id, now); err != nil && err != ErrUnknownRide {
+					t.Fatalf("step %d: track: %v", step, err)
+				}
+			} else {
+				idx := rng.Intn(len(r.Route))
+				p := city.Graph.Point(r.Route[idx])
+				if _, err := e.TrackPosition(id, p); err != nil && err != ErrUnknownRide {
+					t.Fatalf("step %d: gps track: %v", step, err)
+				}
+			}
+
+		default: // complete
+			if len(rides) == 0 {
+				continue
+			}
+			i := rng.Intn(len(rides))
+			e.CompleteRide(rides[i])
+			rides = append(rides[:i], rides[i+1:]...)
+		}
+
+		if step%20 == 0 {
+			if err := e.Index().CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+		// Global invariants that must hold continuously.
+		e.Index().Rides(func(r *index.Ride) bool {
+			if r.SeatsAvail < 0 || r.SeatsAvail >= r.SeatsTotal {
+				t.Fatalf("step %d: ride %d seats %d/%d", step, r.ID, r.SeatsAvail, r.SeatsTotal)
+			}
+			if r.DetourLimit < 0 {
+				t.Fatalf("step %d: ride %d negative budget", step, r.ID)
+			}
+			return true
+		})
+	}
+	if err := e.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	t.Logf("soak: %d creates, %d searches, %d bookings (%d failed), %d cancels, %d completions",
+		m.RidesCreated, m.Searches, m.Bookings, m.BookingsFailed, m.Cancellations, m.RidesCompleted)
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"sort"
+
+	"xar/internal/geo"
+	"xar/internal/index"
+)
+
+// Search implements the optimized two-step ride search of §VII. It never
+// computes a shortest path:
+//
+//	Step 1 — source side: map the request source to its grid, prune the
+//	grid's sorted walkable-cluster list by the requester's walk limit,
+//	and for each feasible cluster pull the potential rides whose ETA
+//	falls in the departure window (binary search on the by-ETA order).
+//
+//	Step 2 — destination side: the same from the destination, with the
+//	window extended by DestWindowSlack; then intersect the two candidate
+//	sets (by-ID order membership tests).
+//
+// Finally each surviving ride is checked for combined walking distance
+// (≤ the request's limit), combined cluster-approximated detour (≤ the
+// ride's remaining budget), pickup-before-drop-off ordering, and seat
+// availability. Matches are returned sorted by total walking distance,
+// the quantity the paper's simulation minimizes.
+func (e *Engine) Search(req Request) ([]Match, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.m.searches.Add(1)
+	out, err := e.searchLocked(req)
+	e.m.searchMatches.Add(uint64(len(out)))
+	return out, err
+}
+
+// SearchK returns at most k matches (the best k by walking distance).
+// k <= 0 means no limit. It mirrors the paper's Figure 5a experiment,
+// where the candidate retrieval cost of XAR is insensitive to k.
+func (e *Engine) SearchK(req Request, k int) ([]Match, error) {
+	ms, err := e.Search(req)
+	if err != nil {
+		return nil, err
+	}
+	if k > 0 && len(ms) > k {
+		ms = ms[:k]
+	}
+	return ms, nil
+}
+
+type sideCandidate struct {
+	cluster int
+	walk    float64
+}
+
+func (e *Engine) searchLocked(req Request) ([]Match, error) {
+	srcSide, err := e.walkableSide(req.Source, req.WalkLimit)
+	if err != nil {
+		return nil, err
+	}
+	dstSide, err := e.walkableSide(req.Dest, req.WalkLimit)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1: source-side candidates. For each ride remember the best
+	// (least-walk) source cluster that produced it.
+	r1 := make(map[index.RideID]sideCandidate)
+	var scratch []index.RideID
+	for _, sc := range srcSide {
+		scratch = e.ix.PotentialRides(sc.cluster, req.EarliestDeparture, req.LatestDeparture, scratch[:0])
+		for _, id := range scratch {
+			if prev, ok := r1[id]; !ok || sc.walk < prev.walk {
+				r1[id] = sideCandidate{cluster: sc.cluster, walk: sc.walk}
+			}
+		}
+	}
+	if len(r1) == 0 {
+		return nil, nil
+	}
+
+	// Step 2: destination-side candidates and intersection R1 ∩ R2.
+	// The destination window extends past the departure window because
+	// the drop-off happens after the pickup.
+	destT2 := req.LatestDeparture + e.cfg.DestWindowSlack
+	r2 := make(map[index.RideID]sideCandidate)
+	for _, dc := range dstSide {
+		scratch = e.ix.PotentialRides(dc.cluster, req.EarliestDeparture, destT2, scratch[:0])
+		for _, id := range scratch {
+			if _, inR1 := r1[id]; !inR1 {
+				continue // intersection only
+			}
+			if prev, ok := r2[id]; !ok || dc.walk < prev.walk {
+				r2[id] = sideCandidate{cluster: dc.cluster, walk: dc.walk}
+			}
+		}
+	}
+
+	// Final checks on the intersection.
+	var out []Match
+	for id, dst := range r2 {
+		src := r1[id]
+		r := e.ix.Ride(id)
+		if r == nil || r.SeatsAvail <= 0 {
+			continue
+		}
+		// Combined walking distance within the requester's limit. The
+		// per-side lists were pruned by the full limit, so the sum needs
+		// its own check.
+		if src.walk+dst.walk > req.WalkLimit {
+			// The best-walk cluster pair may fail while another pair
+			// passes; try to find any feasible pair cheaply by scanning
+			// the (short, sorted) walkable lists again.
+			var ok bool
+			src, dst, ok = e.bestWalkPair(srcSide, dstSide, id, req)
+			if !ok {
+				continue
+			}
+		}
+		m, ok := e.checkDetourAndOrder(r, src.cluster, dst.cluster)
+		if !ok {
+			continue
+		}
+		m.WalkSource = src.walk
+		m.WalkDest = dst.walk
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalWalk() != out[j].TotalWalk() {
+			return out[i].TotalWalk() < out[j].TotalWalk()
+		}
+		return out[i].Ride < out[j].Ride
+	})
+	return out, nil
+}
+
+// walkableSide resolves a request endpoint to its walkable-cluster list
+// pruned by the requester's walk limit (a linear scan over the sorted
+// list, per §IV). An endpoint with no walkable cluster returns
+// ErrNotServable.
+func (e *Engine) walkableSide(p geo.Point, limit float64) ([]sideCandidate, error) {
+	gi := e.disc.Info(e.disc.GridAt(p))
+	if gi == nil {
+		return nil, ErrNotServable
+	}
+	pruned := gi.WalkableWithin(limit)
+	if len(pruned) == 0 {
+		return nil, ErrNotServable
+	}
+	side := make([]sideCandidate, len(pruned))
+	for i, wc := range pruned {
+		side[i] = sideCandidate{cluster: wc.Cluster, walk: wc.Walk}
+	}
+	return side, nil
+}
+
+// bestWalkPair searches for the least-total-walk (source, dest) cluster
+// pair for which the ride is listed on both sides and the total walk fits
+// the limit. Walkable lists are sorted by walk, so it can stop early.
+func (e *Engine) bestWalkPair(srcSide, dstSide []sideCandidate, id index.RideID, req Request) (s, d sideCandidate, ok bool) {
+	best := req.WalkLimit + 1
+	for _, sc := range srcSide {
+		if sc.walk >= best {
+			break
+		}
+		if _, listed := e.ix.HasPotentialRide(sc.cluster, id); !listed {
+			continue
+		}
+		for _, dc := range dstSide {
+			total := sc.walk + dc.walk
+			if total >= best || total > req.WalkLimit {
+				break
+			}
+			if _, listed := e.ix.HasPotentialRide(dc.cluster, id); !listed {
+				continue
+			}
+			best = total
+			s, d, ok = sc, dc, true
+			break
+		}
+	}
+	return s, d, ok
+}
+
+// checkDetourAndOrder validates that the ride can serve pickup cluster cs
+// then drop-off cluster cd within its remaining detour budget, using only
+// the precomputed supports: pick the support pair (ps, pd) with
+// ps.Order ≤ pd.Order minimizing combined detour.
+func (e *Engine) checkDetourAndOrder(r *index.Ride, cs, cd int) (Match, bool) {
+	sups := e.ix.Supports(r.ID, cs)
+	dups := e.ix.Supports(r.ID, cd)
+	if len(sups) == 0 || len(dups) == 0 {
+		return Match{}, false
+	}
+	bestTotal := r.DetourLimit + 1
+	var bm Match
+	found := false
+	for _, s := range sups {
+		if s.Detour >= bestTotal {
+			break // sorted by detour
+		}
+		for _, d := range dups {
+			total := s.Detour + d.Detour
+			if total >= bestTotal {
+				break
+			}
+			if d.Order < s.Order {
+				continue // drop-off support precedes pickup support
+			}
+			if d.ETA < s.ETA {
+				continue // estimated drop-off before estimated pickup
+			}
+			if total > r.DetourLimit {
+				continue
+			}
+			bestTotal = total
+			bm = Match{
+				Ride:           r.ID,
+				PickupCluster:  cs,
+				DropoffCluster: cd,
+				DetourEstimate: total,
+				PickupETA:      s.ETA,
+				DropoffETA:     d.ETA,
+				pickupOrder:    s.Order,
+				dropoffOrder:   d.Order,
+				pickupSegv:     s.Seg,
+				dropoffSegv:    d.Seg,
+			}
+			found = true
+			break
+		}
+	}
+	return bm, found
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"xar/internal/index"
+)
+
+// Track implements ride tracking (§VIII-A) by wall clock: it advances the
+// ride's position to the last route node whose ETA is ≤ now and updates
+// the index, marking crossed pass-through clusters obsolete and dropping
+// the ride from clusters it can no longer serve.
+//
+// It returns true when the ride has arrived at its destination.
+func (e *Engine) Track(id index.RideID, now float64) (arrived bool, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	e.m.trackCalls.Add(1)
+	r := e.ix.Ride(id)
+	if r == nil {
+		return false, ErrUnknownRide
+	}
+	pos := r.Progress
+	for pos+1 < len(r.RouteETA) && r.RouteETA[pos+1] <= now {
+		pos++
+	}
+	if pos != r.Progress {
+		if err := e.ix.Advance(id, pos); err != nil {
+			return false, err
+		}
+	}
+	return pos == len(r.Route)-1, nil
+}
+
+// TrackAll advances every active ride to the given time and removes the
+// ones that arrived. It returns the number of completed rides — the
+// periodic maintenance pass of a deployment.
+func (e *Engine) TrackAll(now float64) (completed int, err error) {
+	e.mu.Lock()
+	var toAdvance []index.RideID
+	e.ix.Rides(func(r *index.Ride) bool {
+		toAdvance = append(toAdvance, r.ID)
+		return true
+	})
+	e.mu.Unlock()
+
+	for _, id := range toAdvance {
+		arrived, terr := e.Track(id, now)
+		if terr != nil {
+			if terr == ErrUnknownRide {
+				continue // raced with completion; fine
+			}
+			return completed, terr
+		}
+		if arrived {
+			e.CompleteRide(id)
+			completed++
+		}
+	}
+	return completed, nil
+}

@@ -1,0 +1,139 @@
+package discretize
+
+import (
+	"bytes"
+	"testing"
+
+	"xar/internal/roadnet"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	city := testCity(t)
+	orig, err := Build(city, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, city)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.NumClusters() != orig.NumClusters() {
+		t.Fatalf("clusters %d vs %d", loaded.NumClusters(), orig.NumClusters())
+	}
+	if loaded.Epsilon() != orig.Epsilon() {
+		t.Fatalf("ε %v vs %v", loaded.Epsilon(), orig.Epsilon())
+	}
+	if len(loaded.Landmarks) != len(orig.Landmarks) {
+		t.Fatal("landmark counts differ")
+	}
+	for i := range orig.Landmarks {
+		if loaded.Landmarks[i] != orig.Landmarks[i] {
+			t.Fatalf("landmark %d differs", i)
+		}
+		if loaded.ClusterOfLandmark(i) != orig.ClusterOfLandmark(i) {
+			t.Fatalf("landmark %d cluster differs", i)
+		}
+	}
+	// Distance tables survive.
+	for i := 0; i < len(orig.Landmarks); i += 7 {
+		for j := 0; j < len(orig.Landmarks); j += 11 {
+			if loaded.LandmarkDist(i, j) != orig.LandmarkDist(i, j) {
+				t.Fatalf("lm dist (%d,%d) differs", i, j)
+			}
+		}
+	}
+	for c1 := 0; c1 < orig.NumClusters(); c1++ {
+		for c2 := 0; c2 < orig.NumClusters(); c2++ {
+			if loaded.ClusterDist(c1, c2) != orig.ClusterDist(c1, c2) {
+				t.Fatalf("cluster dist (%d,%d) differs", c1, c2)
+			}
+		}
+	}
+	// Grid queries agree.
+	g := city.Graph
+	for v := 0; v < g.NumNodes(); v += 17 {
+		p := g.Point(roadnet.NodeID(v))
+		a := orig.Info(orig.GridAt(p))
+		b := loaded.Info(loaded.GridAt(p))
+		if (a == nil) != (b == nil) {
+			t.Fatalf("grid info presence differs at node %d", v)
+		}
+		if a == nil {
+			continue
+		}
+		if a.Landmark != b.Landmark || len(a.Walkable) != len(b.Walkable) {
+			t.Fatalf("grid info differs at node %d: %+v vs %+v", v, a, b)
+		}
+		for i := range a.Walkable {
+			if a.Walkable[i] != b.Walkable[i] {
+				t.Fatalf("walkable entry %d differs at node %d", i, v)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsWrongGraph(t *testing.T) {
+	city := testCity(t)
+	orig, err := Build(city, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, err := roadnet.GenerateCity(roadnet.DefaultCityConfig(24, 14, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, other); err == nil {
+		t.Fatal("loading against a different graph must fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	city := testCity(t)
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot")), city); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestGraphSaveLoadRoundTrip(t *testing.T) {
+	city := testCity(t)
+	var buf bytes.Buffer
+	if err := city.Graph.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := roadnet.LoadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != city.Graph.NumNodes() || g2.NumEdges() != city.Graph.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), city.Graph.NumNodes(), city.Graph.NumEdges())
+	}
+	if g2.Fingerprint() != city.Graph.Fingerprint() {
+		t.Fatal("fingerprint changed across save/load")
+	}
+	// A discretization built on the loaded graph behaves identically.
+	s1 := roadnet.NewSearcher(city.Graph)
+	s2 := roadnet.NewSearcher(g2)
+	for v := 0; v < g2.NumNodes(); v += 29 {
+		a := s1.ShortestPath(0, roadnet.NodeID(v))
+		b := s2.ShortestPath(0, roadnet.NodeID(v))
+		if a.Dist != b.Dist {
+			t.Fatalf("distance to %d differs: %v vs %v", v, a.Dist, b.Dist)
+		}
+	}
+}
+
+func TestLoadGraphRejectsGarbage(t *testing.T) {
+	if _, err := roadnet.LoadGraph(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}

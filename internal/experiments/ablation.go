@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"time"
+
+	"xar/internal/core"
+	"xar/internal/index"
+	"xar/internal/sim"
+	"xar/internal/stats"
+)
+
+// AblationRow compares a design choice on versus off.
+type AblationRow struct {
+	Name       string
+	OnMeanMS   float64 // production configuration
+	OffMeanMS  float64 // design choice disabled
+	OnMatches  int
+	OffMatches int
+}
+
+// AblationSortedLists quantifies the dual sorted potential-ride lists
+// (DESIGN.md §4): searches with the by-ETA binary search versus a full
+// linear scan of every candidate cluster's list.
+func AblationSortedLists(w *World) (AblationRow, error) {
+	return ablateIndexConfig(w, "sorted-lists", func(cfg *index.Config) {
+		cfg.LinearWindowScan = true
+	})
+}
+
+// AblationReachablePrecompute quantifies the reachable-cluster
+// precomputation: without it, only pass-through clusters are indexed and
+// searches miss detour-served requests.
+func AblationReachablePrecompute(w *World) (AblationRow, error) {
+	return ablateIndexConfig(w, "reachable-precompute", func(cfg *index.Config) {
+		cfg.NoReachablePrecompute = true
+	})
+}
+
+func ablateIndexConfig(w *World, name string, disable func(*index.Config)) (AblationRow, error) {
+	offers, requests := w.SplitOffersRequests()
+
+	run := func(icfg index.Config) (float64, int, error) {
+		ecfg := core.DefaultConfig()
+		ecfg.DefaultDetourLimit = w.Scale.DetourLimit
+		ecfg.Index = icfg
+		eng, err := core.NewEngine(w.Disc, ecfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		sys := &sim.XARSystem{Engine: eng}
+		seed(sys, offers, w.Scale)
+		var lat stats.Sample
+		matches := 0
+		for _, r := range requests {
+			req := simRequest(r, w.Scale)
+			start := time.Now()
+			ms, _ := sys.Search(req, 0)
+			lat.AddDuration(time.Since(start))
+			matches += len(ms)
+		}
+		return lat.Mean(), matches, nil
+	}
+
+	onMS, onMatches, err := run(index.DefaultConfig())
+	if err != nil {
+		return AblationRow{}, err
+	}
+	offCfg := index.DefaultConfig()
+	disable(&offCfg)
+	offMS, offMatches, err := run(offCfg)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Name:       name,
+		OnMeanMS:   onMS,
+		OffMeanMS:  offMS,
+		OnMatches:  onMatches,
+		OffMatches: offMatches,
+	}, nil
+}
+
+// RenderAblations renders ablation rows.
+func RenderAblations(rows []AblationRow) string {
+	t := stats.NewTable("design_choice", "on_mean_ms", "off_mean_ms", "on_matches", "off_matches")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.OnMeanMS, r.OffMeanMS, r.OnMatches, r.OffMatches)
+	}
+	return "Ablations — design choices on vs off\n" + t.String()
+}

@@ -1,0 +1,42 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodePolyline checks the decoder never panics and that whatever
+// it accepts round-trips through the encoder.
+func FuzzDecodePolyline(f *testing.F) {
+	f.Add("_p~iF~ps|U_ulLnnqC_mqNvxq`@")
+	f.Add("")
+	f.Add("_")
+	f.Add("??")
+	f.Add("~~~~~~~~~~")
+	f.Fuzz(func(t *testing.T, s string) {
+		pts, err := DecodePolyline(s)
+		if err != nil {
+			return
+		}
+		for _, p := range pts {
+			if math.IsNaN(p.Lat) || math.IsNaN(p.Lng) {
+				t.Fatalf("decoded NaN from %q", s)
+			}
+		}
+		// Re-encoding the decoded points and decoding again must agree
+		// (the original string may use a non-canonical encoding, so only
+		// the value round-trip is guaranteed).
+		back, err := DecodePolyline(EncodePolyline(pts))
+		if err != nil {
+			t.Fatalf("re-decode failed for %q: %v", s, err)
+		}
+		if len(back) != len(pts) {
+			t.Fatalf("value round-trip lost points: %d vs %d", len(back), len(pts))
+		}
+		for i := range pts {
+			if math.Abs(back[i].Lat-pts[i].Lat) > 1.1e-5 || math.Abs(back[i].Lng-pts[i].Lng) > 1.1e-5 {
+				t.Fatalf("value drift at %d: %v vs %v", i, back[i], pts[i])
+			}
+		}
+	})
+}

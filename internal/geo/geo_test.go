@@ -1,0 +1,213 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Two NYC reference points with a well-known distance: Times Square and
+// Union Square are roughly 3.1 km apart as the crow flies.
+var (
+	timesSquare = Point{Lat: 40.7580, Lng: -73.9855}
+	unionSquare = Point{Lat: 40.7359, Lng: -73.9911}
+)
+
+func TestHaversineKnownDistance(t *testing.T) {
+	d := Haversine(timesSquare, unionSquare)
+	if d < 2300 || d > 2700 {
+		t.Fatalf("Times Square–Union Square distance = %.0f m, want ~2500 m", d)
+	}
+}
+
+func TestHaversineZero(t *testing.T) {
+	if d := Haversine(timesSquare, timesSquare); d != 0 {
+		t.Fatalf("distance of a point to itself = %v, want 0", d)
+	}
+}
+
+func TestHaversineSmallScaleMatchesPlanar(t *testing.T) {
+	// At ~100 m scales the haversine distance must agree with the planar
+	// approximation used by the grid system to well under a meter.
+	a := Point{Lat: 40.75, Lng: -73.98}
+	b := Point{Lat: 40.75 + 100/MetersPerDegreeLat(), Lng: -73.98}
+	d := Haversine(a, b)
+	if math.Abs(d-100) > 0.5 {
+		t.Fatalf("100 m north displacement measured as %.3f m", d)
+	}
+	c := Point{Lat: 40.75, Lng: -73.98 + 100/MetersPerDegreeLng(40.75)}
+	d = Haversine(a, c)
+	if math.Abs(d-100) > 0.5 {
+		t.Fatalf("100 m east displacement measured as %.3f m", d)
+	}
+}
+
+func nycPoint(r *rand.Rand) Point {
+	return Point{
+		Lat: 40.55 + r.Float64()*0.4,
+		Lng: -74.15 + r.Float64()*0.4,
+	}
+}
+
+func TestHaversineMetricProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b, c := nycPoint(r), nycPoint(r), nycPoint(r)
+		dab := Haversine(a, b)
+		dba := Haversine(b, a)
+		if math.Abs(dab-dba) > 1e-6 {
+			t.Fatalf("symmetry violated: d(a,b)=%v d(b,a)=%v", dab, dba)
+		}
+		if dab < 0 {
+			t.Fatalf("negative distance %v", dab)
+		}
+		dac := Haversine(a, c)
+		dcb := Haversine(c, b)
+		if dab > dac+dcb+1e-6 {
+			t.Fatalf("triangle inequality violated: %v > %v + %v", dab, dac, dcb)
+		}
+	}
+}
+
+func TestDestinationInvertsHaversine(t *testing.T) {
+	// quick.Check: Destination(p, bearing, d) must be d away from p and at
+	// roughly the requested bearing for any city-scale d.
+	f := func(latSeed, lngSeed, brngSeed, distSeed uint16) bool {
+		p := Point{
+			Lat: 40.55 + float64(latSeed)/65535*0.4,
+			Lng: -74.15 + float64(lngSeed)/65535*0.4,
+		}
+		brng := float64(brngSeed) / 65535 * 360
+		dist := 1 + float64(distSeed)/65535*20000 // 1 m .. 20 km
+		q := Destination(p, brng, dist)
+		back := Haversine(p, q)
+		return math.Abs(back-dist) < 0.01*dist+0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBearingCardinal(t *testing.T) {
+	p := Point{Lat: 40.75, Lng: -73.98}
+	cases := []struct {
+		name string
+		to   Point
+		want float64
+	}{
+		{"north", Point{Lat: 40.76, Lng: -73.98}, 0},
+		{"east", Point{Lat: 40.75, Lng: -73.97}, 90},
+		{"south", Point{Lat: 40.74, Lng: -73.98}, 180},
+		{"west", Point{Lat: 40.75, Lng: -73.99}, 270},
+	}
+	for _, tc := range cases {
+		got := Bearing(p, tc.to)
+		diff := math.Abs(got - tc.want)
+		if diff > 180 {
+			diff = 360 - diff
+		}
+		if diff > 1.0 {
+			t.Errorf("%s: bearing = %.2f, want %.2f", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	m := Midpoint(timesSquare, unionSquare)
+	da := Haversine(timesSquare, m)
+	db := Haversine(unionSquare, m)
+	if math.Abs(da-db) > 1 {
+		t.Fatalf("midpoint not equidistant: %.2f vs %.2f", da, db)
+	}
+	total := Haversine(timesSquare, unionSquare)
+	if math.Abs(da+db-total) > 1 {
+		t.Fatalf("midpoint off the great circle: %.2f + %.2f vs %.2f", da, db, total)
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{90, 180}, true},
+		{Point{-90, -180}, true},
+		{Point{91, 0}, false},
+		{Point{0, 181}, false},
+		{Point{math.NaN(), 0}, false},
+		{Point{0, math.Inf(1)}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Valid(); got != tc.want {
+			t.Errorf("Valid(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestBBox(t *testing.T) {
+	b := NewBBox(timesSquare, unionSquare)
+	if !b.Contains(timesSquare) || !b.Contains(unionSquare) {
+		t.Fatal("bbox must contain its defining points")
+	}
+	if !b.Contains(Midpoint(timesSquare, unionSquare)) {
+		t.Fatal("bbox must contain the midpoint")
+	}
+	outside := Point{Lat: 40.80, Lng: -73.98}
+	if b.Contains(outside) {
+		t.Fatal("bbox should not contain a point north of both corners")
+	}
+	padded := b.Pad(10000)
+	if !padded.Contains(outside) {
+		t.Fatal("10 km padded bbox should contain a point ~4.5 km away")
+	}
+	if padded.WidthMeters() <= b.WidthMeters() || padded.HeightMeters() <= b.HeightMeters() {
+		t.Fatal("padding must grow the box")
+	}
+}
+
+func TestNewBBoxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBBox() with no points must panic")
+		}
+	}()
+	NewBBox()
+}
+
+func TestBBoxCenter(t *testing.T) {
+	b := NewBBox(Point{40, -74}, Point{41, -73})
+	c := b.Center()
+	if c.Lat != 40.5 || c.Lng != -73.5 {
+		t.Fatalf("center = %v, want 40.5,-73.5", c)
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	if PathLength(nil) != 0 {
+		t.Fatal("empty path must have length 0")
+	}
+	if PathLength([]Point{timesSquare}) != 0 {
+		t.Fatal("single-point path must have length 0")
+	}
+	m := Midpoint(timesSquare, unionSquare)
+	via := PathLength([]Point{timesSquare, m, unionSquare})
+	direct := Haversine(timesSquare, unionSquare)
+	if math.Abs(via-direct) > 1 {
+		t.Fatalf("path through the midpoint = %.2f, direct = %.2f", via, direct)
+	}
+}
+
+func TestMetersPerDegree(t *testing.T) {
+	if mpd := MetersPerDegreeLat(); math.Abs(mpd-111194.9) > 10 {
+		t.Fatalf("meters per degree latitude = %.1f, want ~111195", mpd)
+	}
+	// Longitude degrees shrink with latitude.
+	if MetersPerDegreeLng(60) >= MetersPerDegreeLng(0) {
+		t.Fatal("longitude degree length must shrink toward the poles")
+	}
+	if math.Abs(MetersPerDegreeLng(60)-MetersPerDegreeLat()*0.5) > 10 {
+		t.Fatal("cos(60°) = 0.5 scaling violated")
+	}
+}

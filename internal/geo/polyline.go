@@ -1,0 +1,97 @@
+package geo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EncodePolyline encodes a path with the Google Encoded Polyline
+// Algorithm Format (precision 1e-5) — the compact route representation
+// web and mobile map SDKs consume. The XAR HTTP API serves routes as
+// GeoJSON; polylines are the bandwidth-friendly alternative for mobile
+// clients.
+func EncodePolyline(pts []Point) string {
+	var sb strings.Builder
+	var prevLat, prevLng int64
+	for _, p := range pts {
+		lat := int64(round5(p.Lat))
+		lng := int64(round5(p.Lng))
+		encodeSigned(&sb, lat-prevLat)
+		encodeSigned(&sb, lng-prevLng)
+		prevLat, prevLng = lat, lng
+	}
+	return sb.String()
+}
+
+func round5(deg float64) float64 {
+	v := deg * 1e5
+	if v >= 0 {
+		return float64(int64(v + 0.5))
+	}
+	return float64(int64(v - 0.5))
+}
+
+func encodeSigned(sb *strings.Builder, v int64) {
+	u := uint64(v) << 1
+	if v < 0 {
+		u = ^u
+	}
+	for u >= 0x20 {
+		sb.WriteByte(byte(0x20|(u&0x1f)) + 63)
+		u >>= 5
+	}
+	sb.WriteByte(byte(u) + 63)
+}
+
+// DecodePolyline is the inverse of EncodePolyline. It returns an error
+// on truncated input.
+func DecodePolyline(s string) ([]Point, error) {
+	var pts []Point
+	var lat, lng int64
+	i := 0
+	// A legal coordinate delta is at most 360·1e5 < 2³⁶ zigzag-encoded;
+	// anything needing more chunks is corrupt (and would overflow the
+	// accumulator, as the fuzzer demonstrated).
+	const maxShift = 40
+	next := func() (int64, error) {
+		var result uint64
+		var shift uint
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("geo: truncated polyline at byte %d", i)
+			}
+			b := uint64(s[i]) - 63
+			if s[i] < 63 {
+				return 0, fmt.Errorf("geo: invalid polyline byte %q at %d", s[i], i)
+			}
+			i++
+			if shift >= maxShift {
+				return 0, fmt.Errorf("geo: polyline varint overflow at byte %d", i)
+			}
+			result |= (b & 0x1f) << shift
+			shift += 5
+			if b < 0x20 {
+				break
+			}
+		}
+		v := int64(result >> 1)
+		if result&1 != 0 {
+			v = ^v
+		}
+		return v, nil
+	}
+	for i < len(s) {
+		dLat, err := next()
+		if err != nil {
+			return nil, err
+		}
+		dLng, err := next()
+		if err != nil {
+			return nil, err
+		}
+		lat += dLat
+		lng += dLng
+		pts = append(pts, Point{Lat: float64(lat) / 1e5, Lng: float64(lng) / 1e5})
+	}
+	return pts, nil
+}

@@ -1,0 +1,104 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The canonical example from Google's polyline documentation.
+func TestEncodePolylineGoogleExample(t *testing.T) {
+	pts := []Point{
+		{Lat: 38.5, Lng: -120.2},
+		{Lat: 40.7, Lng: -120.95},
+		{Lat: 43.252, Lng: -126.453},
+	}
+	want := "_p~iF~ps|U_ulLnnqC_mqNvxq`@"
+	if got := EncodePolyline(pts); got != want {
+		t.Fatalf("encode = %q, want %q", got, want)
+	}
+	back, err := DecodePolyline(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("decoded %d points", len(back))
+	}
+	for i := range pts {
+		if math.Abs(back[i].Lat-pts[i].Lat) > 1e-5 || math.Abs(back[i].Lng-pts[i].Lng) > 1e-5 {
+			t.Fatalf("point %d: %v vs %v", i, back[i], pts[i])
+		}
+	}
+}
+
+func TestPolylineEmpty(t *testing.T) {
+	if got := EncodePolyline(nil); got != "" {
+		t.Fatalf("empty path encoded as %q", got)
+	}
+	pts, err := DecodePolyline("")
+	if err != nil || len(pts) != 0 {
+		t.Fatalf("decode empty: %v %v", pts, err)
+	}
+}
+
+func TestPolylineRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		pts := make([]Point, count)
+		for i := range pts {
+			pts[i] = Point{
+				Lat: -85 + r.Float64()*170,
+				Lng: -180 + r.Float64()*360,
+			}
+		}
+		back, err := DecodePolyline(EncodePolyline(pts))
+		if err != nil || len(back) != len(pts) {
+			return false
+		}
+		for i := range pts {
+			if math.Abs(back[i].Lat-pts[i].Lat) > 1.1e-5 ||
+				math.Abs(back[i].Lng-pts[i].Lng) > 1.1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodePolylineErrors(t *testing.T) {
+	// A continuation byte with nothing after it.
+	if _, err := DecodePolyline("_"); err == nil {
+		t.Fatal("truncated polyline must error")
+	}
+	// A byte below the encoding range.
+	if _, err := DecodePolyline("\x01\x01"); err == nil {
+		t.Fatal("invalid byte must error")
+	}
+	// An odd number of varints (lat without lng).
+	if _, err := DecodePolyline("_p~iF"); err == nil {
+		t.Fatal("dangling latitude must error")
+	}
+	// Varint overflow (found by FuzzDecodePolyline): a run of
+	// continuation bytes long enough to overflow the accumulator.
+	if _, err := DecodePolyline("Aaa\xbe\xbe\xbe\xbe\xbe\xbe\xbe\xbe\xbe\xbe\xbeAAA"); err == nil {
+		t.Fatal("varint overflow must error")
+	}
+}
+
+func TestPolylineNegativeZeroCrossing(t *testing.T) {
+	pts := []Point{{Lat: 0.00001, Lng: -0.00001}, {Lat: -0.00001, Lng: 0.00001}}
+	back, err := DecodePolyline(EncodePolyline(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if math.Abs(back[i].Lat-pts[i].Lat) > 1e-5 || math.Abs(back[i].Lng-pts[i].Lng) > 1e-5 {
+			t.Fatalf("point %d: %v vs %v", i, back[i], pts[i])
+		}
+	}
+}

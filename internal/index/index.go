@@ -1,0 +1,474 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xar/internal/discretize"
+)
+
+// Config tunes the index.
+type Config struct {
+	// AvgSpeed (m/s) converts cluster distances into the ETA estimates
+	// attached to reachable clusters (pass-through ETAs come from the
+	// route itself).
+	AvgSpeed float64
+	// LinearWindowScan disables the by-ETA binary search (ablation).
+	LinearWindowScan bool
+	// NoReachablePrecompute disables the reachable-cluster expansion at
+	// registration time (ablation): only pass-through clusters are
+	// indexed, so searches only see rides passing directly through a
+	// walkable cluster.
+	NoReachablePrecompute bool
+}
+
+// DefaultConfig returns production settings.
+func DefaultConfig() Config {
+	return Config{AvgSpeed: 7.0}
+}
+
+// Index is the XAR in-memory ride index built over a region
+// discretization. Not safe for concurrent use (see package comment).
+type Index struct {
+	cfg  Config
+	disc *discretize.Discretization
+
+	rides    map[RideID]*Ride
+	clusters []clusterList
+
+	// neighbors[c] lists all clusters sorted by ascending distance from
+	// c, so "clusters within d of C" is a prefix.
+	neighbors [][]neighborEntry
+
+	nextID RideID
+}
+
+type neighborEntry struct {
+	Cluster int32
+	Dist    float64
+}
+
+// New builds an empty index over disc.
+func New(disc *discretize.Discretization, cfg Config) (*Index, error) {
+	if cfg.AvgSpeed <= 0 {
+		return nil, fmt.Errorf("index: AvgSpeed must be positive, got %v", cfg.AvgSpeed)
+	}
+	k := disc.NumClusters()
+	ix := &Index{
+		cfg:       cfg,
+		disc:      disc,
+		rides:     make(map[RideID]*Ride),
+		clusters:  make([]clusterList, k),
+		neighbors: make([][]neighborEntry, k),
+	}
+	for c := 0; c < k; c++ {
+		row := make([]neighborEntry, 0, k)
+		for o := 0; o < k; o++ {
+			row = append(row, neighborEntry{Cluster: int32(o), Dist: disc.ClusterDist(c, o)})
+		}
+		sort.Slice(row, func(i, j int) bool {
+			if row[i].Dist != row[j].Dist {
+				return row[i].Dist < row[j].Dist
+			}
+			return row[i].Cluster < row[j].Cluster
+		})
+		ix.neighbors[c] = row
+	}
+	return ix, nil
+}
+
+// Disc exposes the discretization the index was built over.
+func (ix *Index) Disc() *discretize.Discretization { return ix.disc }
+
+// NumRides returns the number of registered rides.
+func (ix *Index) NumRides() int { return len(ix.rides) }
+
+// Ride returns a registered ride, or nil.
+func (ix *Index) Ride(id RideID) *Ride { return ix.rides[id] }
+
+// Rides calls f for every registered ride until f returns false.
+func (ix *Index) Rides(f func(*Ride) bool) {
+	for _, r := range ix.rides {
+		if !f(r) {
+			return
+		}
+	}
+}
+
+// NextID allocates a fresh ride ID.
+func (ix *Index) NextID() RideID {
+	ix.nextID++
+	return ix.nextID
+}
+
+// Insert registers a fully-populated ride (ID, route, route ETAs,
+// via-points, detour limit set by the caller): it computes the ride's
+// pass-through clusters per segment, the reachable clusters under the
+// paper's detour test, and adds the ride to every affected cluster's
+// potential-ride lists.
+func (ix *Index) Insert(r *Ride) error {
+	if r == nil {
+		return fmt.Errorf("index: nil ride")
+	}
+	if _, dup := ix.rides[r.ID]; dup {
+		return fmt.Errorf("index: duplicate ride ID %d", r.ID)
+	}
+	if len(r.Route) < 2 || len(r.RouteETA) != len(r.Route) {
+		return fmt.Errorf("index: ride %d has inconsistent route (%d nodes, %d ETAs)", r.ID, len(r.Route), len(r.RouteETA))
+	}
+	if len(r.Via) < 2 {
+		return fmt.Errorf("index: ride %d has %d via-points, need >= 2", r.ID, len(r.Via))
+	}
+	if r.DetourLimit < 0 {
+		return fmt.Errorf("index: ride %d has negative detour limit", r.ID)
+	}
+	ix.register(r)
+	ix.rides[r.ID] = r
+	return nil
+}
+
+// Remove unregisters a ride entirely (completed or cancelled).
+func (ix *Index) Remove(id RideID) bool {
+	r, ok := ix.rides[id]
+	if !ok {
+		return false
+	}
+	ix.unregister(r)
+	delete(ix.rides, id)
+	return true
+}
+
+// Reregister rebuilds a ride's cluster registrations after its route,
+// via-points or detour limit changed (booking confirmed).
+func (ix *Index) Reregister(r *Ride) error {
+	if _, ok := ix.rides[r.ID]; !ok {
+		return fmt.Errorf("index: ride %d not registered", r.ID)
+	}
+	ix.unregister(r)
+	ix.register(r)
+	return nil
+}
+
+// register computes pt entries and supports and fills cluster lists.
+func (ix *Index) register(r *Ride) {
+	r.pt = r.pt[:0]
+	r.support = make(map[int32][]supRef)
+
+	// 1. Pass-through clusters: walk the route, map node → cluster, and
+	// emit one entry per maximal run of equal cluster within a segment.
+	for i := r.Progress; i < len(r.Route); i++ {
+		c := ix.disc.ClusterOfNode(r.Route[i])
+		if c < 0 {
+			continue
+		}
+		seg := int32(r.segmentOf(i))
+		if n := len(r.pt); n > 0 && r.pt[n-1].Cluster == int32(c) && r.pt[n-1].Seg == seg && int(r.pt[n-1].LastIdx) == i-1 {
+			r.pt[n-1].LastIdx = int32(i)
+			continue
+		}
+		r.pt = append(r.pt, ptEntry{
+			Cluster:  int32(c),
+			Seg:      seg,
+			FirstIdx: int32(i),
+			LastIdx:  int32(i),
+			ETA:      r.RouteETA[i],
+		})
+	}
+
+	// 2. Reachable clusters per pass-through entry, with the detour test
+	//    d(C,C') + d(C',v_{i+1}) − d(C,v_{i+1}) ≤ d  (§VI).
+	// Distances to the via-point are approximated by distances to the
+	// via-point's cluster, consistent with the ε error budget; via-points
+	// outside any cluster skip the refinement (conservative superset —
+	// the booking-time shortest paths remain the ground truth).
+	for pi := range r.pt {
+		e := &r.pt[pi]
+		c := e.Cluster
+		e.Supported = append(e.Supported[:0], c)
+		ix.addSupport(c, supRef{Pt: int32(pi), Detour: 0, ETA: e.ETA}, r)
+
+		if ix.cfg.NoReachablePrecompute {
+			continue
+		}
+		viaCluster := int32(-1)
+		if int(e.Seg)+1 < len(r.Via) {
+			viaCluster = int32(ix.disc.ClusterOfNode(r.Via[e.Seg+1].Node))
+		}
+		for _, nb := range ix.neighbors[c] {
+			if nb.Dist > r.DetourLimit {
+				break // sorted: everything after is farther
+			}
+			if nb.Cluster == c {
+				continue
+			}
+			detour := nb.Dist
+			if viaCluster >= 0 {
+				dCVia := ix.disc.ClusterDist(int(c), int(viaCluster))
+				dC2Via := ix.disc.ClusterDist(int(nb.Cluster), int(viaCluster))
+				detour = nb.Dist + dC2Via - dCVia
+				if detour < 0 {
+					detour = 0
+				}
+				if detour > r.DetourLimit {
+					continue
+				}
+			}
+			eta := e.ETA + nb.Dist/ix.cfg.AvgSpeed
+			e.Supported = append(e.Supported, nb.Cluster)
+			ix.addSupport(nb.Cluster, supRef{Pt: int32(pi), Detour: detour, ETA: eta}, r)
+		}
+	}
+
+	// 3. Insert the ride into every supported cluster's lists with the
+	// earliest ETA over its supports.
+	for c, refs := range r.support {
+		ix.clusters[c].add(r.ID, minETA(refs))
+	}
+}
+
+func (ix *Index) addSupport(c int32, ref supRef, r *Ride) {
+	r.support[c] = append(r.support[c], ref)
+}
+
+func minETA(refs []supRef) float64 {
+	best := math.Inf(1)
+	for _, s := range refs {
+		if s.ETA < best {
+			best = s.ETA
+		}
+	}
+	return best
+}
+
+// unregister removes the ride from all cluster lists and clears its
+// registration state.
+func (ix *Index) unregister(r *Ride) {
+	for c := range r.support {
+		ix.clusters[c].remove(r.ID)
+	}
+	r.support = nil
+	r.pt = nil
+}
+
+// Advance implements ride tracking (§VIII-A): the vehicle has progressed
+// to route index pos. Pass-through entries entirely behind pos become
+// obsolete; clusters that lose all their valid supports drop the ride
+// from their potential lists; clusters with remaining supports get their
+// ETA refreshed.
+func (ix *Index) Advance(id RideID, pos int) error {
+	r, ok := ix.rides[id]
+	if !ok {
+		return fmt.Errorf("index: ride %d not registered", id)
+	}
+	if pos < r.Progress {
+		return fmt.Errorf("index: ride %d cannot move backwards (%d < %d)", id, pos, r.Progress)
+	}
+	if pos >= len(r.Route) {
+		pos = len(r.Route) - 1
+	}
+	r.Progress = pos
+
+	// Step 1: mark newly crossed pass-through entries.
+	var crossed []int32
+	for pi := range r.pt {
+		e := &r.pt[pi]
+		if !e.Crossed && int(e.LastIdx) < pos {
+			e.Crossed = true
+			crossed = append(crossed, int32(pi))
+		}
+	}
+	if len(crossed) == 0 {
+		return nil
+	}
+	crossedSet := make(map[int32]bool, len(crossed))
+	for _, pi := range crossed {
+		crossedSet[pi] = true
+	}
+
+	// Step 2: for every cluster supported by a crossed entry, drop the
+	// dead supports; if none remain, remove the ride from the cluster's
+	// list, otherwise refresh its ETA.
+	touched := map[int32]bool{}
+	for _, pi := range crossed {
+		for _, c := range r.pt[pi].Supported {
+			touched[c] = true
+		}
+	}
+	for c := range touched {
+		refs := r.support[c]
+		kept := refs[:0]
+		for _, ref := range refs {
+			if !crossedSet[ref.Pt] && !r.pt[ref.Pt].Crossed {
+				kept = append(kept, ref)
+			}
+		}
+		if len(kept) == 0 {
+			delete(r.support, c)
+			ix.clusters[c].remove(r.ID)
+		} else {
+			r.support[c] = kept
+			ix.clusters[c].updateETA(r.ID, minETA(kept))
+		}
+	}
+	// Step 3 (remove crossed entries from the pass-through list) is
+	// implicit: entries stay marked Crossed and every path through the
+	// index skips them; PassThroughClusters filters them out.
+	return nil
+}
+
+// PotentialRides appends to dst the ⟨ride, ETA⟩ tuples of cluster c whose
+// estimated arrival falls in [t1, t2] and returns the extended slice —
+// the O(log n) retrieval step of the optimized search.
+func (ix *Index) PotentialRides(c int, t1, t2 float64, dst []RideID) []RideID {
+	if c < 0 || c >= len(ix.clusters) {
+		return dst
+	}
+	var entries []listEntry
+	if ix.cfg.LinearWindowScan {
+		entries = ix.clusters[c].windowLinear(t1, t2, nil)
+	} else {
+		entries = ix.clusters[c].window(t1, t2, nil)
+	}
+	for _, e := range entries {
+		dst = append(dst, e.Ride)
+	}
+	return dst
+}
+
+// HasPotentialRide reports whether ride id is in cluster c's potential
+// list, with its ETA — the by-ID order lookup used by the two-sided
+// intersection.
+func (ix *Index) HasPotentialRide(c int, id RideID) (float64, bool) {
+	if c < 0 || c >= len(ix.clusters) {
+		return 0, false
+	}
+	return ix.clusters[c].eta(id)
+}
+
+// Supports returns the valid ways ride id can serve cluster c, in
+// ascending detour order.
+func (ix *Index) Supports(id RideID, c int) []Support {
+	r, ok := ix.rides[id]
+	if !ok {
+		return nil
+	}
+	refs := r.support[int32(c)]
+	out := make([]Support, 0, len(refs))
+	for _, ref := range refs {
+		if r.pt[ref.Pt].Crossed {
+			continue
+		}
+		out = append(out, Support{
+			Order:  int(ref.Pt),
+			Seg:    int(r.pt[ref.Pt].Seg),
+			Detour: ref.Detour,
+			ETA:    ref.ETA,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Detour < out[j].Detour })
+	return out
+}
+
+// ClusterListLen reports the potential-ride count of cluster c
+// (diagnostics, memory accounting).
+func (ix *Index) ClusterListLen(c int) int {
+	if c < 0 || c >= len(ix.clusters) {
+		return 0
+	}
+	return ix.clusters[c].len()
+}
+
+// Stats summarizes the index's occupancy — the quantities behind the
+// paper's memory experiment (Figure 3c): how many cluster-list entries
+// and support records the current fleet induces.
+type Stats struct {
+	Rides           int
+	Clusters        int
+	ListEntries     int // Σ per-cluster potential-ride tuples (×2 orders)
+	SupportRecords  int // Σ per-ride (cluster → pass-through) refs
+	PassThroughRuns int // Σ per-ride pass-through entries
+	MaxListLen      int // largest single cluster list
+}
+
+// Stats computes current occupancy in O(rides + clusters).
+func (ix *Index) Stats() Stats {
+	s := Stats{Rides: len(ix.rides), Clusters: len(ix.clusters)}
+	for c := range ix.clusters {
+		n := ix.clusters[c].len()
+		s.ListEntries += n
+		if n > s.MaxListLen {
+			s.MaxListLen = n
+		}
+	}
+	for _, r := range ix.rides {
+		s.PassThroughRuns += len(r.pt)
+		for _, refs := range r.support {
+			s.SupportRecords += len(refs)
+		}
+	}
+	return s
+}
+
+// CheckInvariants validates the cross-structure invariants; tests and
+// failure-injection suites call it after random operation sequences.
+//
+//   - every support ref points at a live (non-crossed) pass-through entry;
+//   - a ride appears in a cluster list iff it has ≥1 valid support there;
+//   - list ETAs equal the minimum support ETA;
+//   - both sort orders contain exactly the same tuples.
+func (ix *Index) CheckInvariants() error {
+	for c := range ix.clusters {
+		l := &ix.clusters[c]
+		if len(l.byID) != len(l.byETA) {
+			return fmt.Errorf("cluster %d: order sizes differ (%d vs %d)", c, len(l.byID), len(l.byETA))
+		}
+		for i := 1; i < len(l.byID); i++ {
+			if l.byID[i-1].Ride >= l.byID[i].Ride {
+				return fmt.Errorf("cluster %d: byID order violated at %d", c, i)
+			}
+		}
+		for i := 1; i < len(l.byETA); i++ {
+			if l.byETA[i-1].ETA > l.byETA[i].ETA {
+				return fmt.Errorf("cluster %d: byETA order violated at %d", c, i)
+			}
+		}
+		for _, e := range l.byID {
+			r, ok := ix.rides[e.Ride]
+			if !ok {
+				return fmt.Errorf("cluster %d lists unknown ride %d", c, e.Ride)
+			}
+			refs := r.support[int32(c)]
+			if len(refs) == 0 {
+				return fmt.Errorf("cluster %d lists ride %d with no supports", c, e.Ride)
+			}
+			valid := 0
+			best := math.Inf(1)
+			for _, ref := range refs {
+				if int(ref.Pt) >= len(r.pt) {
+					return fmt.Errorf("ride %d support ref out of range", e.Ride)
+				}
+				if !r.pt[ref.Pt].Crossed {
+					valid++
+				}
+				if ref.ETA < best {
+					best = ref.ETA
+				}
+			}
+			if valid == 0 {
+				return fmt.Errorf("cluster %d lists ride %d with only crossed supports", c, e.Ride)
+			}
+			if math.Abs(best-e.ETA) > 1e-6 {
+				return fmt.Errorf("cluster %d ride %d: listed ETA %v != min support ETA %v", c, e.Ride, e.ETA, best)
+			}
+		}
+	}
+	for id, r := range ix.rides {
+		for c := range r.support {
+			if _, ok := ix.clusters[c].eta(id); !ok {
+				return fmt.Errorf("ride %d supports cluster %d but is not listed there", id, c)
+			}
+		}
+	}
+	return nil
+}

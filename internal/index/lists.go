@@ -1,0 +1,111 @@
+package index
+
+import (
+	"sort"
+)
+
+// listEntry pairs a potential ride with its estimated arrival time in a
+// cluster — the ⟨r, t⟩ tuples of §VI.
+type listEntry struct {
+	Ride RideID
+	ETA  float64
+}
+
+// clusterList maintains the potential rides of one cluster in the two
+// sort orders the paper prescribes: by non-decreasing arrival time (time-
+// window retrieval in O(log n)) and by ride ID (membership testing and
+// O(log n) intersection during the two-sided search).
+type clusterList struct {
+	byETA []listEntry
+	byID  []listEntry
+}
+
+func (l *clusterList) len() int { return len(l.byID) }
+
+// add inserts the tuple, keeping both orders. The caller guarantees the
+// ride is not already present.
+func (l *clusterList) add(r RideID, eta float64) {
+	e := listEntry{Ride: r, ETA: eta}
+	i := sort.Search(len(l.byETA), func(i int) bool {
+		if l.byETA[i].ETA != eta {
+			return l.byETA[i].ETA > eta
+		}
+		return l.byETA[i].Ride >= r
+	})
+	l.byETA = append(l.byETA, listEntry{})
+	copy(l.byETA[i+1:], l.byETA[i:])
+	l.byETA[i] = e
+
+	j := sort.Search(len(l.byID), func(i int) bool { return l.byID[i].Ride >= r })
+	l.byID = append(l.byID, listEntry{})
+	copy(l.byID[j+1:], l.byID[j:])
+	l.byID[j] = e
+}
+
+// remove deletes the ride's tuple; it reports whether the ride was
+// present.
+func (l *clusterList) remove(r RideID) bool {
+	j := sort.Search(len(l.byID), func(i int) bool { return l.byID[i].Ride >= r })
+	if j >= len(l.byID) || l.byID[j].Ride != r {
+		return false
+	}
+	eta := l.byID[j].ETA
+	l.byID = append(l.byID[:j], l.byID[j+1:]...)
+
+	i := sort.Search(len(l.byETA), func(i int) bool {
+		if l.byETA[i].ETA != eta {
+			return l.byETA[i].ETA > eta
+		}
+		return l.byETA[i].Ride >= r
+	})
+	// Defensive linear fallback in case of float inconsistency.
+	for i < len(l.byETA) && (l.byETA[i].Ride != r || l.byETA[i].ETA != eta) {
+		i++
+	}
+	if i < len(l.byETA) {
+		l.byETA = append(l.byETA[:i], l.byETA[i+1:]...)
+	}
+	return true
+}
+
+// updateETA changes the ride's arrival estimate, preserving both orders.
+func (l *clusterList) updateETA(r RideID, eta float64) {
+	if l.remove(r) {
+		l.add(r, eta)
+	}
+}
+
+// eta returns the ride's arrival estimate and whether it is present —
+// a binary search on the by-ID order.
+func (l *clusterList) eta(r RideID) (float64, bool) {
+	j := sort.Search(len(l.byID), func(i int) bool { return l.byID[i].Ride >= r })
+	if j < len(l.byID) && l.byID[j].Ride == r {
+		return l.byID[j].ETA, true
+	}
+	return 0, false
+}
+
+// window appends to dst the rides with ETA in [t1, t2] (inclusive), using
+// a binary search on the by-ETA order, and returns the extended slice.
+func (l *clusterList) window(t1, t2 float64, dst []listEntry) []listEntry {
+	if t2 < t1 {
+		return dst
+	}
+	i := sort.Search(len(l.byETA), func(i int) bool { return l.byETA[i].ETA >= t1 })
+	for ; i < len(l.byETA) && l.byETA[i].ETA <= t2; i++ {
+		dst = append(dst, l.byETA[i])
+	}
+	return dst
+}
+
+// windowLinear is the ablation variant of window: a full scan that
+// ignores the sorted order. Benchmarks use it to quantify the value of
+// the dual sorted lists.
+func (l *clusterList) windowLinear(t1, t2 float64, dst []listEntry) []listEntry {
+	for _, e := range l.byID {
+		if e.ETA >= t1 && e.ETA <= t2 {
+			dst = append(dst, e)
+		}
+	}
+	return dst
+}

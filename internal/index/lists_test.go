@@ -1,0 +1,193 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// refList is the brute-force reference the property tests compare the
+// dual-sorted clusterList against.
+type refList map[RideID]float64
+
+func (r refList) window(t1, t2 float64) []RideID {
+	var out []RideID
+	for id, eta := range r {
+		if eta >= t1 && eta <= t2 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedIDs(entries []listEntry) []RideID {
+	out := make([]RideID, len(entries))
+	for i, e := range entries {
+		out[i] = e.Ride
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []RideID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkOrders validates the two sort invariants.
+func checkOrders(t *testing.T, l *clusterList) {
+	t.Helper()
+	for i := 1; i < len(l.byETA); i++ {
+		if l.byETA[i-1].ETA > l.byETA[i].ETA {
+			t.Fatal("byETA order violated")
+		}
+	}
+	for i := 1; i < len(l.byID); i++ {
+		if l.byID[i-1].Ride >= l.byID[i].Ride {
+			t.Fatal("byID order violated")
+		}
+	}
+	if len(l.byETA) != len(l.byID) {
+		t.Fatal("order sizes diverged")
+	}
+}
+
+func TestClusterListBasicOps(t *testing.T) {
+	var l clusterList
+	l.add(5, 100)
+	l.add(3, 50)
+	l.add(9, 100) // equal ETA, higher ID
+	checkOrders(t, &l)
+	if l.len() != 3 {
+		t.Fatalf("len = %d", l.len())
+	}
+	if eta, ok := l.eta(3); !ok || eta != 50 {
+		t.Fatalf("eta(3) = %v %v", eta, ok)
+	}
+	if _, ok := l.eta(4); ok {
+		t.Fatal("eta(4) should be absent")
+	}
+	if !l.remove(5) {
+		t.Fatal("remove(5) failed")
+	}
+	if l.remove(5) {
+		t.Fatal("double remove succeeded")
+	}
+	checkOrders(t, &l)
+	l.updateETA(3, 500)
+	if eta, _ := l.eta(3); eta != 500 {
+		t.Fatalf("updateETA left %v", eta)
+	}
+	checkOrders(t, &l)
+}
+
+func TestClusterListWindowInclusive(t *testing.T) {
+	var l clusterList
+	l.add(1, 10)
+	l.add(2, 20)
+	l.add(3, 30)
+	got := l.window(10, 30, nil)
+	if len(got) != 3 {
+		t.Fatalf("inclusive window returned %d entries", len(got))
+	}
+	got = l.window(10.5, 29.5, nil)
+	if len(got) != 1 || got[0].Ride != 2 {
+		t.Fatalf("inner window = %v", got)
+	}
+	if got := l.window(31, 40, nil); len(got) != 0 {
+		t.Fatal("empty window must be empty")
+	}
+}
+
+// TestClusterListQuickAgainstReference drives random operation sequences
+// against the reference map with testing/quick-generated seeds.
+func TestClusterListQuickAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var l clusterList
+		ref := refList{}
+		for op := 0; op < 300; op++ {
+			switch r := rng.Intn(10); {
+			case r < 4: // add
+				id := RideID(rng.Intn(50))
+				if _, exists := ref[id]; exists {
+					continue
+				}
+				eta := float64(rng.Intn(1000))
+				l.add(id, eta)
+				ref[id] = eta
+			case r < 6: // remove
+				id := RideID(rng.Intn(50))
+				_, exists := ref[id]
+				got := l.remove(id)
+				if got != exists {
+					return false
+				}
+				delete(ref, id)
+			case r < 8: // update
+				id := RideID(rng.Intn(50))
+				if _, exists := ref[id]; !exists {
+					continue
+				}
+				eta := float64(rng.Intn(1000))
+				l.updateETA(id, eta)
+				ref[id] = eta
+			default: // window query
+				t1 := float64(rng.Intn(1000))
+				t2 := t1 + float64(rng.Intn(300))
+				got := sortedIDs(l.window(t1, t2, nil))
+				lin := sortedIDs(l.windowLinear(t1, t2, nil))
+				want := ref.window(t1, t2)
+				if !equalIDs(got, want) || !equalIDs(lin, want) {
+					return false
+				}
+			}
+			// Membership invariant.
+			for id, eta := range ref {
+				gotETA, ok := l.eta(id)
+				if !ok || gotETA != eta {
+					return false
+				}
+			}
+			if l.len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterListDuplicateETAs(t *testing.T) {
+	// Many rides sharing one ETA: removal must pick the right tuple.
+	var l clusterList
+	for id := RideID(1); id <= 20; id++ {
+		l.add(id, 42)
+	}
+	checkOrders(t, &l)
+	for id := RideID(1); id <= 20; id += 2 {
+		if !l.remove(id) {
+			t.Fatalf("remove(%d) failed", id)
+		}
+	}
+	checkOrders(t, &l)
+	if l.len() != 10 {
+		t.Fatalf("len = %d", l.len())
+	}
+	for id := RideID(2); id <= 20; id += 2 {
+		if _, ok := l.eta(id); !ok {
+			t.Fatalf("ride %d lost", id)
+		}
+	}
+}

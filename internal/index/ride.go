@@ -1,0 +1,187 @@
+// Package index implements the XAR in-memory indexing structure (§VI of
+// the paper): rides with via-points and segments, per-segment pass-through
+// clusters, reachable clusters under the detour test, and per-cluster
+// potential-ride lists maintained in two sort orders (by estimated time of
+// arrival and by ride ID).
+//
+// The index is the component that eliminates shortest-path computation
+// from the search path: all spatial reasoning during a search happens in
+// terms of precomputed cluster distances. Shortest paths are computed only
+// when a ride is created and when a booking is confirmed, exactly as the
+// paper prescribes.
+//
+// The Index is not safe for concurrent use; the core engine wraps it with
+// a single reader–writer lock (searches share, mutations exclude).
+package index
+
+import (
+	"fmt"
+	"math"
+
+	"xar/internal/geo"
+	"xar/internal/roadnet"
+)
+
+// RideID uniquely identifies a ride in the system.
+type RideID int64
+
+// ViaPoint is a location the ride must pass through: the ride's own
+// source and destination plus every co-rider pickup/drop-off (§VI item 6).
+// Via-points are distinct from way-points (route nodes).
+type ViaPoint struct {
+	RouteIdx int            // index into Ride.Route
+	Node     roadnet.NodeID // road node of the via-point
+	ETA      float64        // seconds since epoch
+	Kind     ViaKind
+}
+
+// ViaKind tags why a via-point exists.
+type ViaKind uint8
+
+// Via-point kinds.
+const (
+	ViaSource ViaKind = iota
+	ViaDest
+	ViaPickup
+	ViaDropoff
+)
+
+func (k ViaKind) String() string {
+	switch k {
+	case ViaSource:
+		return "source"
+	case ViaDest:
+		return "dest"
+	case ViaPickup:
+		return "pickup"
+	case ViaDropoff:
+		return "dropoff"
+	default:
+		return fmt.Sprintf("viakind(%d)", uint8(k))
+	}
+}
+
+// Ride is a ride offer tracked by the index (§VI items 1–10).
+type Ride struct {
+	ID RideID
+	// Owner identifies the driver for social-graph match prioritization
+	// (0 = unknown).
+	Owner     int64
+	Source    geo.Point
+	Dest      geo.Point
+	Departure float64 // seconds since epoch
+
+	SeatsTotal int
+	SeatsAvail int
+
+	// Route is the current node path from source to destination; RouteETA
+	// holds the estimated arrival time at each route node, computed from
+	// edge travel times when the ride is created or re-routed.
+	Route    []roadnet.NodeID
+	RouteETA []float64
+
+	// Via holds the via-points in route order; Via[0] is the source and
+	// Via[len-1] the destination. The segment s is the portion of the
+	// route between Via[s] and Via[s+1].
+	Via []ViaPoint
+
+	// DetourLimit is the *remaining* detour budget in meters. Each
+	// booking decrements it by the extra distance the booking added;
+	// cancellations restore it. DetourLimitInitial is the driver's
+	// original tolerance and BaseRouteLen the length of the original
+	// (booking-free) shortest route — together they let a cancellation
+	// recompute the remaining budget exactly.
+	DetourLimit        float64
+	DetourLimitInitial float64
+	BaseRouteLen       float64
+
+	// Progress is the index of the last route node the vehicle has
+	// passed. Tracking advances it; clusters behind it become obsolete.
+	Progress int
+
+	// Index registration state (maintained by Index).
+	pt      []ptEntry
+	support map[int32][]supRef
+}
+
+// ptEntry is one pass-through cluster of one segment of the ride.
+type ptEntry struct {
+	Cluster   int32
+	Seg       int32 // segment index: between Via[Seg] and Via[Seg+1]
+	FirstIdx  int32 // first route index inside the cluster (this run)
+	LastIdx   int32 // last route index inside the cluster (this run)
+	ETA       float64
+	Crossed   bool
+	Supported []int32 // clusters this entry supports (incl. itself)
+}
+
+// supRef records that pass-through entry Pt lets the ride serve cluster
+// with the given extra detour cost and estimated time of arrival.
+type supRef struct {
+	Pt     int32   // index into Ride.pt
+	Detour float64 // meters of extra driving to serve this cluster
+	ETA    float64 // estimated arrival in the cluster
+}
+
+// Support describes, for search, one way a ride can serve a cluster.
+type Support struct {
+	Order  int     // position of the supporting pass-through along the route
+	Seg    int     // segment of the supporting pass-through
+	Detour float64 // meters of extra driving
+	ETA    float64 // seconds since epoch
+}
+
+// NumSegments returns the number of route segments (via-point count − 1).
+func (r *Ride) NumSegments() int {
+	if len(r.Via) < 2 {
+		return 0
+	}
+	return len(r.Via) - 1
+}
+
+// PassThroughClusters returns the distinct not-yet-crossed pass-through
+// clusters in route order (diagnostics and tests).
+func (r *Ride) PassThroughClusters() []int {
+	var out []int
+	seen := map[int32]bool{}
+	for _, e := range r.pt {
+		if e.Crossed || seen[e.Cluster] {
+			continue
+		}
+		seen[e.Cluster] = true
+		out = append(out, int(e.Cluster))
+	}
+	return out
+}
+
+// ReachableClusters returns the distinct clusters the ride can currently
+// serve (the union of supported clusters over valid pass-throughs).
+func (r *Ride) ReachableClusters() []int {
+	out := make([]int, 0, len(r.support))
+	for c := range r.support {
+		out = append(out, int(c))
+	}
+	return out
+}
+
+// ArrivalAt returns the ride's remaining-route ETA bounds (departure of
+// the current position and arrival at the destination).
+func (r *Ride) ArrivalAt() (start, end float64) {
+	if len(r.RouteETA) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	return r.RouteETA[0], r.RouteETA[len(r.RouteETA)-1]
+}
+
+// segmentOf returns the segment index containing route index idx.
+func (r *Ride) segmentOf(idx int) int {
+	for s := 0; s+1 < len(r.Via); s++ {
+		if idx >= r.Via[s].RouteIdx && idx <= r.Via[s+1].RouteIdx {
+			if idx == r.Via[s+1].RouteIdx && s+2 < len(r.Via) {
+				continue // boundary node belongs to the next segment
+			}
+			return s
+		}
+	}
+	return len(r.Via) - 2
+}

@@ -1,0 +1,149 @@
+// Package memsize estimates the deep (retained) size of in-memory data
+// structures by reflection. It is the reproduction's substitute for the
+// Classmexer Java instrumentation agent the paper uses to measure the
+// size of the XAR in-memory index (Figure 3c).
+//
+// The walker counts each distinct heap object once (pointer-identity
+// de-duplication), adds slice/map/string header and backing-store costs,
+// and approximates map bucket overhead. Absolute numbers are estimates —
+// Go's allocator rounds size classes — but they are consistent across
+// configurations, which is what the memory-vs-cluster-count experiment
+// needs.
+package memsize
+
+import (
+	"reflect"
+)
+
+// Of returns the estimated deep size of v in bytes, including everything
+// reachable from it. Shared objects reachable through several paths are
+// counted once.
+func Of(v interface{}) uint64 {
+	if v == nil {
+		return 0
+	}
+	w := &walker{seen: make(map[uintptr]struct{})}
+	rv := reflect.ValueOf(v)
+	// Top-level value: count its own footprint plus referents.
+	return uint64(rv.Type().Size()) + w.referents(rv)
+}
+
+type walker struct {
+	seen map[uintptr]struct{}
+}
+
+// mark records a heap address; it reports false if the address was
+// already counted.
+func (w *walker) mark(p uintptr) bool {
+	if p == 0 {
+		return false
+	}
+	if _, ok := w.seen[p]; ok {
+		return false
+	}
+	w.seen[p] = struct{}{}
+	return true
+}
+
+// referents returns the size of everything v points at, excluding v's own
+// inline footprint (which the caller has accounted for).
+func (w *walker) referents(v reflect.Value) uint64 {
+	switch v.Kind() {
+	case reflect.Ptr:
+		if v.IsNil() {
+			return 0
+		}
+		if !w.mark(v.Pointer()) {
+			return 0
+		}
+		elem := v.Elem()
+		return uint64(elem.Type().Size()) + w.referents(elem)
+
+	case reflect.Slice:
+		if v.IsNil() {
+			return 0
+		}
+		elemSize := uint64(v.Type().Elem().Size())
+		n := uint64(0)
+		if w.mark(v.Pointer()) {
+			// Backing array: capacity, not length, is what is retained.
+			n += uint64(v.Cap()) * elemSize
+		}
+		for i := 0; i < v.Len(); i++ {
+			n += w.referents(v.Index(i))
+		}
+		return n
+
+	case reflect.String:
+		// Strings may share backing arrays; counting bytes per reference
+		// slightly overestimates, which is acceptable for the index
+		// measurement (it stores almost no strings).
+		return uint64(v.Len())
+
+	case reflect.Map:
+		if v.IsNil() {
+			return 0
+		}
+		if !w.mark(v.Pointer()) {
+			return 0
+		}
+		keySize := uint64(v.Type().Key().Size())
+		valSize := uint64(v.Type().Elem().Size())
+		n := uint64(48) // hmap header approximation
+		iter := v.MapRange()
+		for iter.Next() {
+			// Bucket slot + referents for key and value.
+			n += keySize + valSize
+			n += w.referents(iter.Key())
+			n += w.referents(iter.Value())
+		}
+		// Bucket overhead: Go maps allocate ~2x slots plus tophash bytes.
+		n += uint64(v.Len()) * (keySize + valSize + 2) / 2
+		return n
+
+	case reflect.Struct:
+		var n uint64
+		for i := 0; i < v.NumField(); i++ {
+			n += w.referents(v.Field(i))
+		}
+		return n
+
+	case reflect.Array:
+		var n uint64
+		for i := 0; i < v.Len(); i++ {
+			n += w.referents(v.Index(i))
+		}
+		return n
+
+	case reflect.Interface:
+		if v.IsNil() {
+			return 0
+		}
+		elem := v.Elem()
+		// Interface data word points at the boxed value.
+		return uint64(elem.Type().Size()) + w.referents(elem)
+
+	case reflect.Chan, reflect.Func, reflect.UnsafePointer:
+		return 0 // opaque; count the header only
+
+	default:
+		return 0 // scalar kinds have no referents
+	}
+}
+
+// Report pairs a label with a measured size for table output.
+type Report struct {
+	Label string
+	Bytes uint64
+}
+
+// MB converts the measurement to megabytes.
+func (r Report) MB() float64 { return float64(r.Bytes) / (1 << 20) }
+
+// GB converts the measurement to gigabytes.
+func (r Report) GB() float64 { return float64(r.Bytes) / (1 << 30) }
+
+// Measure is a convenience constructor: Measure("index", idx).
+func Measure(label string, v interface{}) Report {
+	return Report{Label: label, Bytes: Of(v)}
+}

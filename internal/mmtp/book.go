@@ -1,0 +1,83 @@
+package mmtp
+
+import (
+	"xar/internal/core"
+)
+
+// RideBooker extends RideProvider with booking — the full integration
+// loop where the MMTP not only lists shared-ride options but confirms
+// one on the commuter's behalf. *core.Engine satisfies it.
+type RideBooker interface {
+	RideProvider
+	Book(m core.Match, req core.Request) (core.Booking, error)
+}
+
+// BookedEnhancement is the outcome of EnhanceAndBook.
+type BookedEnhancement struct {
+	EnhancerResult
+	// Booked is set when the enhancement's ride was actually reserved.
+	Booked  bool
+	Booking core.Booking
+}
+
+// EnhanceAndBook runs Enhancer and, when it finds an improvement,
+// searches the winning segment again and books the best match. Booking
+// can fail between the enhancer's search and the confirmation (seats
+// taken, detour budget spent); in that case the original itinerary is
+// returned with Booked=false, mirroring a trip planner retrying.
+func EnhanceAndBook(it *Itinerary, xar RideBooker, cfg IntegrationConfig) (BookedEnhancement, error) {
+	res, err := Enhancer(it, xar, cfg)
+	if err != nil {
+		return BookedEnhancement{EnhancerResult: res}, err
+	}
+	out := BookedEnhancement{EnhancerResult: res}
+	if !res.Improved {
+		return out, nil
+	}
+	// The enhanced itinerary's ride leg holds the segment endpoints.
+	var rideLeg *Leg
+	for i := range res.Itinerary.Legs {
+		if res.Itinerary.Legs[i].Mode == LegRideShare {
+			rideLeg = &res.Itinerary.Legs[i]
+			break
+		}
+	}
+	if rideLeg == nil {
+		return out, nil
+	}
+	req := core.Request{
+		Source:            rideLeg.From,
+		Dest:              rideLeg.To,
+		EarliestDeparture: rideLeg.Start - rideLeg.Wait,
+		LatestDeparture:   rideLeg.Start - rideLeg.Wait + cfg.WindowSlack,
+		WalkLimit:         cfg.WalkLimit,
+	}
+	ms, err := xar.SearchK(req, 1)
+	if err != nil && err != core.ErrNotServable {
+		return out, err
+	}
+	if len(ms) == 0 {
+		out.Itinerary = it // enhancement evaporated; keep the original
+		out.Improved = false
+		return out, nil
+	}
+	bk, err := xar.Book(ms[0], req)
+	if err != nil {
+		out.Itinerary = it
+		out.Improved = false
+		return out, nil
+	}
+	out.Booked = true
+	out.Booking = bk
+	// Refine the ride leg's timing with the confirmed ETAs.
+	if bk.PickupETA > 0 {
+		rideLeg.Start = bk.PickupETA
+	}
+	if bk.DropoffETA > rideLeg.Start {
+		rideLeg.End = bk.DropoffETA
+	}
+	if n := len(res.Itinerary.Legs); n > 0 {
+		res.Itinerary.Arrive = res.Itinerary.Legs[n-1].End
+	}
+	return out, nil
+}

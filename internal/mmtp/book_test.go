@@ -1,0 +1,145 @@
+package mmtp
+
+import (
+	"errors"
+	"testing"
+
+	"xar/internal/core"
+	"xar/internal/discretize"
+	"xar/internal/geo"
+)
+
+// fakeBooker extends fakeProvider with controllable booking outcomes.
+type fakeBooker struct {
+	fakeProvider
+	bookErr error
+	booked  int
+}
+
+func (f *fakeBooker) Book(m core.Match, req core.Request) (core.Booking, error) {
+	if f.bookErr != nil {
+		return core.Booking{}, f.bookErr
+	}
+	f.booked++
+	return core.Booking{
+		Ride:       m.Ride,
+		PickupETA:  m.PickupETA,
+		DropoffETA: m.DropoffETA,
+	}, nil
+}
+
+func TestEnhanceAndBookSuccess(t *testing.T) {
+	it := multiHopItinerary()
+	fb := &fakeBooker{fakeProvider: fakeProvider{match: true}}
+	res, err := EnhanceAndBook(it, fb, DefaultIntegrationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Improved || !res.Booked {
+		t.Fatalf("improved=%v booked=%v", res.Improved, res.Booked)
+	}
+	if fb.booked != 1 {
+		t.Fatalf("booked %d times", fb.booked)
+	}
+	// The itinerary's ride leg got the confirmed ETAs.
+	var ride *Leg
+	for i := range res.Itinerary.Legs {
+		if res.Itinerary.Legs[i].Mode == LegRideShare {
+			ride = &res.Itinerary.Legs[i]
+		}
+	}
+	if ride == nil {
+		t.Fatal("no ride leg in booked enhancement")
+	}
+	if ride.Start != res.Booking.PickupETA {
+		t.Fatalf("leg start %v, booking pickup %v", ride.Start, res.Booking.PickupETA)
+	}
+}
+
+func TestEnhanceAndBookFallsBackWhenBookingFails(t *testing.T) {
+	it := multiHopItinerary()
+	fb := &fakeBooker{
+		fakeProvider: fakeProvider{match: true},
+		bookErr:      core.ErrRideFull,
+	}
+	res, err := EnhanceAndBook(it, fb, DefaultIntegrationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Booked || res.Improved {
+		t.Fatalf("booked=%v improved=%v after booking failure", res.Booked, res.Improved)
+	}
+	if res.Itinerary != it {
+		t.Fatal("original itinerary not restored")
+	}
+}
+
+func TestEnhanceAndBookNoImprovement(t *testing.T) {
+	it := multiHopItinerary()
+	fb := &fakeBooker{fakeProvider: fakeProvider{match: false}}
+	res, err := EnhanceAndBook(it, fb, DefaultIntegrationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Improved || res.Booked || fb.booked != 0 {
+		t.Fatalf("unexpected booking on no-match world: %+v", res)
+	}
+}
+
+func TestEnhanceAndBookPropagatesSearchError(t *testing.T) {
+	it := multiHopItinerary()
+	fb := &errBooker{}
+	if _, err := EnhanceAndBook(it, fb, DefaultIntegrationConfig()); err == nil {
+		t.Fatal("search error must propagate")
+	}
+}
+
+type errBooker struct{}
+
+func (e *errBooker) SearchK(core.Request, int) ([]core.Match, error) {
+	return nil, errors.New("backend down")
+}
+func (e *errBooker) Book(core.Match, core.Request) (core.Booking, error) {
+	return core.Booking{}, errors.New("backend down")
+}
+
+// End-to-end: enhance and book against a real engine.
+func TestEnhanceAndBookRealEngine(t *testing.T) {
+	city, _, p := testWorld(t)
+	d, err := discretize.Build(city, discretize.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(d, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := city.Graph.BBox()
+	src := geo.Point{Lat: box.MinLat, Lng: box.MinLng}
+	dst := geo.Point{Lat: box.MaxLat, Lng: box.MaxLng}
+	// A thick fleet along the diagonal so the whole-trip ride exists.
+	for dep := 7 * 3600; dep < 10*3600; dep += 300 {
+		_, _ = eng.CreateRide(core.RideOffer{
+			Source: src, Dest: dst, Departure: float64(dep), DetourLimit: 3000,
+		})
+	}
+	it, err := p.Plan(src, dst, 8*3600)
+	if err != nil || it == nil {
+		t.Fatalf("plan: %v", err)
+	}
+	res, err := EnhanceAndBook(it, eng, DefaultIntegrationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Improved {
+		t.Skip("no enhancement found; layout-dependent")
+	}
+	if !res.Booked {
+		t.Fatal("enhancement found but booking failed against a fresh fleet")
+	}
+	// The booked ride really holds a seat now.
+	r := eng.Ride(res.Booking.Ride)
+	if r == nil || r.SeatsAvail >= r.SeatsTotal-1 {
+		t.Fatal("booking did not consume a seat")
+	}
+}

@@ -1,0 +1,160 @@
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"xar/internal/geo"
+)
+
+// ALT implements the A*-with-Landmarks-and-Triangle-inequality speedup
+// (Goldberg & Harrelson) for single-pair shortest paths. A handful of
+// well-spread seed nodes ("ALT landmarks" — distinct from the XAR
+// discretization's landmarks, though the idea is the same family) get
+// full forward and backward distance arrays; the triangle inequality
+// then yields an admissible, usually much tighter heuristic than the
+// straight-line distance:
+//
+//	h(v) = max_L max( d(L,t) − d(L,v),  d(v,L) − d(t,L) )
+//
+// XAR computes shortest paths only at ride creation and booking, but a
+// city-scale deployment still runs thousands of those per hour; ALT cuts
+// their cost several-fold at the price of 2·k Dijkstras of preprocessing
+// (see BenchmarkAblationALT).
+type ALT struct {
+	g    *Graph
+	seed []NodeID
+	fwd  [][]float64 // fwd[i][v] = d(seed_i → v)
+	bwd  [][]float64 // bwd[i][v] = d(v → seed_i)
+}
+
+// NewALT selects k seed nodes (farthest-point spread over the graph's
+// geometry, deterministic) and precomputes their distance arrays.
+func NewALT(g *Graph, k int) (*ALT, error) {
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("roadnet: ALT over an empty graph")
+	}
+	if k <= 0 {
+		k = 8
+	}
+	if k > g.NumNodes() {
+		k = g.NumNodes()
+	}
+	a := &ALT{g: g}
+
+	// Farthest-point seeding on straight-line distance: cheap and spreads
+	// the seeds to the periphery, where ALT landmarks work best.
+	a.seed = append(a.seed, 0)
+	minD := make([]float64, g.NumNodes())
+	for i := range minD {
+		minD[i] = geo.Haversine(g.Point(0), g.Point(NodeID(i)))
+	}
+	for len(a.seed) < k {
+		far, farD := NodeID(0), -1.0
+		for v := 0; v < g.NumNodes(); v++ {
+			if minD[v] > farD {
+				farD = minD[v]
+				far = NodeID(v)
+			}
+		}
+		a.seed = append(a.seed, far)
+		for v := 0; v < g.NumNodes(); v++ {
+			if d := geo.Haversine(g.Point(far), g.Point(NodeID(v))); d < minD[v] {
+				minD[v] = d
+			}
+		}
+	}
+
+	s := NewSearcher(g)
+	for _, l := range a.seed {
+		a.fwd = append(a.fwd, s.DistancesToAll(l))
+		bwd := make([]float64, g.NumNodes())
+		for i := range bwd {
+			bwd[i] = math.Inf(1)
+		}
+		s.DistancesWithinReverse(l, math.Inf(1), func(v NodeID, d float64) bool {
+			bwd[v] = d
+			return true
+		})
+		a.bwd = append(a.bwd, bwd)
+	}
+	return a, nil
+}
+
+// NumSeeds returns the number of ALT landmarks.
+func (a *ALT) NumSeeds() int { return len(a.seed) }
+
+// heuristic returns the ALT lower bound on d(v → t).
+func (a *ALT) heuristic(v, t NodeID) float64 {
+	var h float64
+	for i := range a.seed {
+		// d(L→t) − d(L→v) ≤ d(v→t)  and  d(v→L) − d(t→L) ≤ d(v→t).
+		if fv, ft := a.fwd[i][v], a.fwd[i][t]; !math.IsInf(fv, 1) && !math.IsInf(ft, 1) {
+			if c := ft - fv; c > h {
+				h = c
+			}
+		}
+		if bv, bt := a.bwd[i][v], a.bwd[i][t]; !math.IsInf(bv, 1) && !math.IsInf(bt, 1) {
+			if c := bv - bt; c > h {
+				h = c
+			}
+		}
+	}
+	return h
+}
+
+// ALTSearcher carries the per-query state for ALT searches; one per
+// goroutine, like Searcher.
+type ALTSearcher struct {
+	alt *ALT
+	s   *Searcher
+}
+
+// NewSearcher creates a query context bound to the ALT tables.
+func (a *ALT) NewSearcher() *ALTSearcher {
+	return &ALTSearcher{alt: a, s: NewSearcher(a.g)}
+}
+
+// ShortestPath runs A* with the ALT heuristic. Results are identical to
+// Searcher.ShortestPath; only the visited-node count differs.
+func (as *ALTSearcher) ShortestPath(source, target NodeID) SPResult {
+	if source == target {
+		return SPResult{Dist: 0, Path: []NodeID{source}}
+	}
+	a, s := as.alt, as.s
+	s.reset()
+	h := func(v NodeID) float64 { return a.heuristic(v, target) }
+
+	s.relax(source, 0, InvalidNode)
+	heap.Push(&s.queue, pqItem{node: source, prio: h(source)})
+	for s.queue.Len() > 0 {
+		it := heap.Pop(&s.queue).(pqItem)
+		v := it.node
+		if v == target {
+			return SPResult{Dist: s.dist[v], Path: s.buildPath(v)}
+		}
+		if it.prio > s.dist[v]+h(v)+1e-9 {
+			continue
+		}
+		for _, e := range s.g.Out(v) {
+			nd := s.dist[v] + e.Length
+			if s.relax(e.To, nd, v) {
+				heap.Push(&s.queue, pqItem{node: e.To, prio: nd + h(e.To)})
+			}
+		}
+	}
+	return SPResult{Dist: math.Inf(1)}
+}
+
+// SettledNodes reports how many nodes the last search settled — the
+// quantity ALT improves. Exposed for benchmarks and tests.
+func (as *ALTSearcher) SettledNodes() int {
+	n := 0
+	for _, st := range as.s.stamp {
+		if st == as.s.gen {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,211 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"xar/internal/geo"
+)
+
+// CityConfig parameterizes the synthetic Manhattan-style network
+// generator. The defaults (see DefaultCityConfig) produce a city whose
+// statistics — block sizes, one-way share, speed mix — track midtown
+// Manhattan, the region of the paper's NY taxi evaluation.
+type CityConfig struct {
+	// Origin is the south-west corner of the lattice.
+	Origin geo.Point
+	// Rows is the number of east–west streets, Cols the number of
+	// north–south avenues.
+	Rows, Cols int
+	// StreetSpacing is the north–south block length in meters (Manhattan:
+	// ~80 m), AvenueSpacing the east–west block length (~274 m).
+	StreetSpacing, AvenueSpacing float64
+	// Jitter perturbs intersection geometry by up to this many meters so
+	// the network is not perfectly regular.
+	Jitter float64
+	// OneWayStreets makes alternate streets one-way (as in Manhattan),
+	// which is what makes driving distance diverge from walking distance.
+	OneWayStreets bool
+	// AvenueSpeed and StreetSpeed are free-flow speeds in m/s.
+	AvenueSpeed, StreetSpeed float64
+	// RemoveEdgeFrac removes this fraction of street edges at random
+	// (parks, construction), creating detours. The generator keeps only
+	// the largest connected component afterwards.
+	RemoveEdgeFrac float64
+	// Diagonal adds a Broadway-like diagonal boulevard when true.
+	Diagonal bool
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultCityConfig returns a midtown-Manhattan-shaped configuration with
+// the given lattice dimensions.
+func DefaultCityConfig(rows, cols int, seed int64) CityConfig {
+	return CityConfig{
+		Origin:         geo.Point{Lat: 40.700, Lng: -74.020},
+		Rows:           rows,
+		Cols:           cols,
+		StreetSpacing:  110,
+		AvenueSpacing:  270,
+		Jitter:         8,
+		OneWayStreets:  true,
+		AvenueSpeed:    9.0, // ~32 km/h
+		StreetSpeed:    6.5, // ~23 km/h
+		RemoveEdgeFrac: 0.03,
+		Diagonal:       true,
+		Seed:           seed,
+	}
+}
+
+// City is a generated road network plus the indices the rest of the
+// system needs to use it.
+type City struct {
+	Graph  *Graph
+	Index  *NodeIndex
+	Config CityConfig
+}
+
+// GenerateCity builds a synthetic city network from cfg. The result is
+// deterministic in cfg (including Seed). It returns an error for
+// degenerate configurations.
+func GenerateCity(cfg CityConfig) (*City, error) {
+	if cfg.Rows < 2 || cfg.Cols < 2 {
+		return nil, fmt.Errorf("roadnet: lattice must be at least 2x2, got %dx%d", cfg.Rows, cfg.Cols)
+	}
+	if cfg.StreetSpacing <= 0 || cfg.AvenueSpacing <= 0 {
+		return nil, fmt.Errorf("roadnet: spacings must be positive")
+	}
+	if cfg.AvenueSpeed <= 0 || cfg.StreetSpeed <= 0 {
+		return nil, fmt.Errorf("roadnet: speeds must be positive")
+	}
+	if cfg.RemoveEdgeFrac < 0 || cfg.RemoveEdgeFrac > 0.5 {
+		return nil, fmt.Errorf("roadnet: RemoveEdgeFrac %v out of [0, 0.5]", cfg.RemoveEdgeFrac)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Graph{}
+
+	// Lay out intersections: row r, col c at Origin + r*StreetSpacing
+	// north + c*AvenueSpacing east, with jitter.
+	nodeAt := make([]NodeID, cfg.Rows*cfg.Cols)
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			north := float64(r) * cfg.StreetSpacing
+			east := float64(c) * cfg.AvenueSpacing
+			if cfg.Jitter > 0 {
+				north += (rng.Float64()*2 - 1) * cfg.Jitter
+				east += (rng.Float64()*2 - 1) * cfg.Jitter
+			}
+			p := geo.Destination(cfg.Origin, 0, north)
+			p = geo.Destination(p, 90, east)
+			nodeAt[r*cfg.Cols+c] = g.AddNode(p)
+		}
+	}
+
+	// Avenues (north–south, along columns): always two-way, faster.
+	for c := 0; c < cfg.Cols; c++ {
+		for r := 0; r+1 < cfg.Rows; r++ {
+			a := nodeAt[r*cfg.Cols+c]
+			b := nodeAt[(r+1)*cfg.Cols+c]
+			if err := g.AddBidirectional(a, b, 0, cfg.AvenueSpeed, ClassAvenue); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Streets (east–west, along rows): alternate one-way when configured.
+	// A random fraction is omitted entirely (parks, construction): since
+	// every intersection sits on a two-way avenue, omitting street edges
+	// cannot break strong connectivity, only lengthen detours.
+	for r := 0; r < cfg.Rows; r++ {
+		eastbound := r%2 == 0
+		for c := 0; c+1 < cfg.Cols; c++ {
+			a := nodeAt[r*cfg.Cols+c]
+			b := nodeAt[r*cfg.Cols+c+1]
+			if cfg.RemoveEdgeFrac > 0 && rng.Float64() < cfg.RemoveEdgeFrac {
+				continue
+			}
+			var err error
+			if cfg.OneWayStreets {
+				if eastbound {
+					err = g.AddEdge(a, b, 0, cfg.StreetSpeed, ClassStreet)
+				} else {
+					err = g.AddEdge(b, a, 0, cfg.StreetSpeed, ClassStreet)
+				}
+			} else {
+				err = g.AddBidirectional(a, b, 0, cfg.StreetSpeed, ClassStreet)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Broadway-like diagonal: a fast two-way boulevard cutting across the
+	// lattice, connecting (0,0)-ish to (Rows-1, Cols-1)-ish.
+	if cfg.Diagonal {
+		steps := cfg.Rows
+		if cfg.Cols < steps {
+			steps = cfg.Cols
+		}
+		prev := nodeAt[0]
+		for s := 1; s < steps; s++ {
+			r := s * (cfg.Rows - 1) / (steps - 1)
+			c := s * (cfg.Cols - 1) / (steps - 1)
+			cur := nodeAt[r*cfg.Cols+c]
+			if cur != prev {
+				if err := g.AddBidirectional(prev, cur, 0, cfg.AvenueSpeed*1.15, ClassHighway); err != nil {
+					return nil, err
+				}
+				prev = cur
+			}
+		}
+	}
+
+	// Keep only the largest weakly-connected component so every node can
+	// (weakly) reach every other; with one-ways, strong connectivity is
+	// ensured by the two-way avenues forming a strongly connected spine.
+	comp := g.LargestComponent()
+	if len(comp) < g.NumNodes() {
+		sub, _ := g.InducedSubgraph(comp)
+		g = sub
+	}
+
+	return &City{
+		Graph:  g,
+		Index:  NewNodeIndex(g, 250),
+		Config: cfg,
+	}, nil
+}
+
+// SnapToNode returns the road node nearest to p and the straight-line
+// snap distance.
+func (c *City) SnapToNode(p geo.Point) (NodeID, float64) {
+	return c.Index.Nearest(p)
+}
+
+// RandomPoint returns a uniformly random point within the city's bounding
+// box, drawn from rng. Used by tests and workload generation.
+func (c *City) RandomPoint(rng *rand.Rand) geo.Point {
+	box := c.Graph.BBox()
+	return geo.Point{
+		Lat: box.MinLat + rng.Float64()*(box.MaxLat-box.MinLat),
+		Lng: box.MinLng + rng.Float64()*(box.MaxLng-box.MinLng),
+	}
+}
+
+// SpeedFactor models time-of-day congestion: free-flow speeds are divided
+// by the returned factor. hour is in [0,24). The profile has AM and PM
+// peaks like urban traffic counts.
+func SpeedFactor(hour float64) float64 {
+	hour = math.Mod(hour, 24)
+	if hour < 0 {
+		hour += 24
+	}
+	peak := func(center, width, height float64) float64 {
+		d := hour - center
+		return height * math.Exp(-d*d/(2*width*width))
+	}
+	// Base factor 1.0 (free flow at night), up to ~1.8 in peaks.
+	return 1.0 + peak(8.5, 1.5, 0.8) + peak(17.5, 1.8, 0.8) + peak(13, 2.5, 0.2)
+}

@@ -1,0 +1,230 @@
+package roadnet
+
+import (
+	"container/heap"
+	"math"
+
+	"xar/internal/geo"
+)
+
+// pqItem is one entry of the binary-heap priority queue used by all the
+// searches in this file. prio is the ordering key (distance, or distance
+// plus heuristic for A*).
+type pqItem struct {
+	node NodeID
+	prio float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].prio < q[j].prio }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// SPResult is the outcome of a single-pair shortest-path search.
+type SPResult struct {
+	Dist float64  // meters; +Inf if unreachable
+	Path []NodeID // from source to target inclusive; nil if unreachable
+}
+
+// Reachable reports whether the search found the target.
+func (r SPResult) Reachable() bool { return !math.IsInf(r.Dist, 1) }
+
+// Searcher bundles the per-search scratch state so that a read-only Graph
+// can serve many concurrent searches: each goroutine owns one Searcher.
+// Reusing a Searcher across queries avoids reallocating the O(n) arrays.
+type Searcher struct {
+	g     *Graph
+	dist  []float64
+	prev  []NodeID
+	stamp []uint32 // generation marks so reset is O(1)
+	gen   uint32
+	queue pq
+}
+
+// NewSearcher creates a Searcher bound to g.
+func NewSearcher(g *Graph) *Searcher {
+	n := g.NumNodes()
+	return &Searcher{
+		g:     g,
+		dist:  make([]float64, n),
+		prev:  make([]NodeID, n),
+		stamp: make([]uint32, n),
+	}
+}
+
+func (s *Searcher) reset() {
+	s.gen++
+	if s.gen == 0 { // wrapped: clear stamps once every 4G searches
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.gen = 1
+	}
+	s.queue = s.queue[:0]
+}
+
+func (s *Searcher) seen(v NodeID) bool { return s.stamp[v] == s.gen }
+
+func (s *Searcher) relax(v NodeID, d float64, from NodeID) bool {
+	if !s.seen(v) || d < s.dist[v] {
+		s.stamp[v] = s.gen
+		s.dist[v] = d
+		s.prev[v] = from
+		return true
+	}
+	return false
+}
+
+func (s *Searcher) buildPath(target NodeID) []NodeID {
+	var rev []NodeID
+	for v := target; v != InvalidNode; v = s.prev[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// ShortestPath runs A* from source to target on edge lengths, using the
+// haversine distance as the (admissible: every edge is at least as long as
+// the straight line) heuristic. It is the routing primitive used when a
+// ride offer is created and when a booking is confirmed.
+func (s *Searcher) ShortestPath(source, target NodeID) SPResult {
+	if source == target {
+		return SPResult{Dist: 0, Path: []NodeID{source}}
+	}
+	s.reset()
+	tp := s.g.Point(target)
+	h := func(v NodeID) float64 { return geo.Haversine(s.g.Point(v), tp) }
+
+	s.relax(source, 0, InvalidNode)
+	heap.Push(&s.queue, pqItem{node: source, prio: h(source)})
+	for s.queue.Len() > 0 {
+		it := heap.Pop(&s.queue).(pqItem)
+		v := it.node
+		if v == target {
+			return SPResult{Dist: s.dist[v], Path: s.buildPath(v)}
+		}
+		if it.prio > s.dist[v]+h(v)+1e-9 { // stale entry
+			continue
+		}
+		for _, e := range s.g.Out(v) {
+			nd := s.dist[v] + e.Length
+			if s.relax(e.To, nd, v) {
+				heap.Push(&s.queue, pqItem{node: e.To, prio: nd + h(e.To)})
+			}
+		}
+	}
+	return SPResult{Dist: math.Inf(1)}
+}
+
+// Visit is the callback of the bounded searches. Returning false stops the
+// search early.
+type Visit func(node NodeID, dist float64) bool
+
+// DistancesWithin runs a Dijkstra from source over outgoing edges, calling
+// visit for every node settled at distance ≤ radius, in increasing
+// distance order. It is the workhorse of the discretization pre-processing
+// (grid→landmark assignments use a bounded search of radius Δ from each
+// landmark over the *reverse* graph; see DistancesWithinReverse).
+func (s *Searcher) DistancesWithin(source NodeID, radius float64, visit Visit) {
+	s.bounded(source, radius, visit, false)
+}
+
+// DistancesWithinReverse is DistancesWithin on the reverse graph: it
+// settles the nodes from which source can be reached within radius. Since
+// "drive from grid g to landmark l" follows edge directions g→l, the
+// per-landmark pre-processing uses the reverse search from l.
+func (s *Searcher) DistancesWithinReverse(source NodeID, radius float64, visit Visit) {
+	s.bounded(source, radius, visit, true)
+}
+
+func (s *Searcher) bounded(source NodeID, radius float64, visit Visit, reverse bool) {
+	if radius < 0 {
+		return
+	}
+	s.reset()
+	s.relax(source, 0, InvalidNode)
+	heap.Push(&s.queue, pqItem{node: source, prio: 0})
+	for s.queue.Len() > 0 {
+		it := heap.Pop(&s.queue).(pqItem)
+		v := it.node
+		if it.prio > s.dist[v]+1e-9 {
+			continue
+		}
+		if s.dist[v] > radius {
+			return
+		}
+		if !visit(v, s.dist[v]) {
+			return
+		}
+		edges := s.g.Out(v)
+		if reverse {
+			edges = s.g.In(v)
+		}
+		for _, e := range edges {
+			nd := s.dist[v] + e.Length
+			if nd <= radius && s.relax(e.To, nd, v) {
+				heap.Push(&s.queue, pqItem{node: e.To, prio: nd})
+			}
+		}
+	}
+}
+
+// DistancesToAll runs an unbounded Dijkstra from source and returns the
+// full distance array (+Inf for unreachable nodes). Used to build the
+// landmark–landmark distance matrix during pre-processing, where the
+// O(n log n) per landmark cost is paid once per region.
+func (s *Searcher) DistancesToAll(source NodeID) []float64 {
+	out := make([]float64, s.g.NumNodes())
+	for i := range out {
+		out[i] = math.Inf(1)
+	}
+	s.bounded(source, math.Inf(1), func(v NodeID, d float64) bool {
+		out[v] = d
+		return true
+	}, false)
+	return out
+}
+
+// TravelTime converts a path to a free-flow travel time in seconds using
+// each edge's speed. It returns an error for non-adjacent steps.
+func (g *Graph) TravelTime(path []NodeID) (float64, error) {
+	var total float64
+	for i := 1; i < len(path); i++ {
+		var best float64 = math.Inf(1)
+		found := false
+		for _, e := range g.out[path[i-1]] {
+			if e.To == path[i] {
+				t := e.Length / e.Speed
+				if t < best {
+					best = t
+				}
+				found = true
+			}
+		}
+		if !found {
+			return 0, errNotAdjacent(path[i-1], path[i])
+		}
+		total += best
+	}
+	return total, nil
+}
+
+type notAdjacentError struct{ from, to NodeID }
+
+func (e notAdjacentError) Error() string {
+	return "roadnet: nodes not adjacent in path"
+}
+
+func errNotAdjacent(from, to NodeID) error { return notAdjacentError{from, to} }

@@ -1,0 +1,491 @@
+// Package server exposes the XAR engine as a JSON-over-HTTP service —
+// the integration surface a multi-modal trip planner calls (§IX). The
+// paper's Go-LA deployment numbers (8 trip plans per request, ~4 legs
+// each, look-to-book ≈ 480) describe exactly this interface under load;
+// the search endpoint is therefore the hot path and maps directly onto
+// the engine's shortest-path-free search.
+//
+// Endpoints (all JSON):
+//
+//	POST   /v1/rides            create a ride offer
+//	GET    /v1/rides/{id}       ride status
+//	DELETE /v1/rides/{id}       complete/cancel a ride
+//	POST   /v1/search           find matches for a request
+//	POST   /v1/bookings         confirm a match
+//	DELETE /v1/bookings         cancel a booking
+//	POST   /v1/track            advance a ride (by time or GPS report)
+//	GET    /v1/metrics          engine counters
+//	GET    /v1/healthz          liveness + deployment stats
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"xar/internal/core"
+	"xar/internal/geo"
+	"xar/internal/index"
+	"xar/internal/roadnet"
+)
+
+// Server wires an engine (and optionally a social graph) to an
+// http.Handler. Safe for concurrent use — the engine does the locking.
+type Server struct {
+	eng    *core.Engine
+	social *core.SocialGraph
+	mux    *http.ServeMux
+}
+
+// New builds a server. social may be nil (no social ranking).
+func New(eng *core.Engine, social *core.SocialGraph) *Server {
+	s := &Server{eng: eng, social: social, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/rides", s.handleCreateRide)
+	s.mux.HandleFunc("GET /v1/rides/{id}", s.handleGetRide)
+	s.mux.HandleFunc("GET /v1/rides/{id}/route", s.handleRideRoute)
+	s.mux.HandleFunc("DELETE /v1/rides/{id}", s.handleDeleteRide)
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
+	s.mux.HandleFunc("POST /v1/bookings", s.handleBook)
+	s.mux.HandleFunc("DELETE /v1/bookings", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/track", s.handleTrack)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the routable handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// --- wire types ---
+
+// PointJSON is a latitude/longitude pair.
+type PointJSON struct {
+	Lat float64 `json:"lat"`
+	Lng float64 `json:"lng"`
+}
+
+func (p PointJSON) point() geo.Point { return geo.Point{Lat: p.Lat, Lng: p.Lng} }
+func toJSON(p geo.Point) PointJSON   { return PointJSON{Lat: p.Lat, Lng: p.Lng} }
+
+// CreateRideRequest is the POST /v1/rides body.
+type CreateRideRequest struct {
+	Source      PointJSON `json:"source"`
+	Dest        PointJSON `json:"dest"`
+	Departure   float64   `json:"departure"`
+	Seats       int       `json:"seats,omitempty"`
+	DetourLimit float64   `json:"detour_limit,omitempty"`
+	Owner       int64     `json:"owner,omitempty"`
+}
+
+// CreateRideResponse returns the new ride's ID.
+type CreateRideResponse struct {
+	RideID int64 `json:"ride_id"`
+}
+
+// RideStatus is the GET /v1/rides/{id} body.
+type RideStatus struct {
+	RideID      int64     `json:"ride_id"`
+	Source      PointJSON `json:"source"`
+	Dest        PointJSON `json:"dest"`
+	Departure   float64   `json:"departure"`
+	SeatsAvail  int       `json:"seats_available"`
+	SeatsTotal  int       `json:"seats_total"`
+	DetourLeft  float64   `json:"detour_budget_m"`
+	RouteNodes  int       `json:"route_nodes"`
+	ViaPoints   int       `json:"via_points"`
+	ProgressPct float64   `json:"progress_pct"`
+}
+
+// SearchRequest is the POST /v1/search body.
+type SearchRequest struct {
+	Source    PointJSON `json:"source"`
+	Dest      PointJSON `json:"dest"`
+	Earliest  float64   `json:"earliest_departure"`
+	Latest    float64   `json:"latest_departure"`
+	WalkLimit float64   `json:"walk_limit_m"`
+	K         int       `json:"k,omitempty"`
+	Requester int64     `json:"requester,omitempty"` // social ranking
+}
+
+func (sr SearchRequest) request() core.Request {
+	return core.Request{
+		Source:            sr.Source.point(),
+		Dest:              sr.Dest.point(),
+		EarliestDeparture: sr.Earliest,
+		LatestDeparture:   sr.Latest,
+		WalkLimit:         sr.WalkLimit,
+	}
+}
+
+// MatchJSON is one search result; its fields are sufficient to book.
+type MatchJSON struct {
+	RideID         int64   `json:"ride_id"`
+	PickupCluster  int     `json:"pickup_cluster"`
+	DropoffCluster int     `json:"dropoff_cluster"`
+	WalkSourceM    float64 `json:"walk_source_m"`
+	WalkDestM      float64 `json:"walk_dest_m"`
+	DetourEstM     float64 `json:"detour_estimate_m"`
+	PickupETA      float64 `json:"pickup_eta"`
+	DropoffETA     float64 `json:"dropoff_eta"`
+}
+
+// SearchResponse is the POST /v1/search reply.
+type SearchResponse struct {
+	Matches []MatchJSON `json:"matches"`
+}
+
+// BookRequest is the POST /v1/bookings body: the chosen match plus the
+// original request (re-validated server-side).
+type BookRequest struct {
+	Match   MatchJSON     `json:"match"`
+	Request SearchRequest `json:"request"`
+}
+
+// BookingJSON is the confirmed booking.
+type BookingJSON struct {
+	RideID        int64   `json:"ride_id"`
+	PickupNode    int64   `json:"pickup_node"`
+	DropoffNode   int64   `json:"dropoff_node"`
+	PickupETA     float64 `json:"pickup_eta"`
+	DropoffETA    float64 `json:"dropoff_eta"`
+	WalkSourceM   float64 `json:"walk_source_m"`
+	WalkDestM     float64 `json:"walk_dest_m"`
+	DetourM       float64 `json:"detour_m"`
+	ApproxErrorM  float64 `json:"approx_error_m"`
+	ShortestPaths int     `json:"shortest_paths_run"`
+}
+
+// CancelRequest is the DELETE /v1/bookings body.
+type CancelRequest struct {
+	RideID      int64 `json:"ride_id"`
+	PickupNode  int64 `json:"pickup_node"`
+	DropoffNode int64 `json:"dropoff_node"`
+}
+
+// TrackRequest advances a ride by wall clock or GPS report.
+type TrackRequest struct {
+	RideID int64      `json:"ride_id"`
+	Now    *float64   `json:"now,omitempty"`
+	GPS    *PointJSON `json:"gps,omitempty"`
+}
+
+// TrackResponse reports arrival.
+type TrackResponse struct {
+	Arrived bool `json:"arrived"`
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleCreateRide(w http.ResponseWriter, r *http.Request) {
+	var req CreateRideRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	id, err := s.eng.CreateRide(core.RideOffer{
+		Source:      req.Source.point(),
+		Dest:        req.Dest.point(),
+		Departure:   req.Departure,
+		Seats:       req.Seats,
+		DetourLimit: req.DetourLimit,
+		Owner:       core.UserID(req.Owner),
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateRideResponse{RideID: int64(id)})
+}
+
+func (s *Server) handleGetRide(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	ride := s.eng.Ride(index.RideID(id))
+	if ride == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown ride"})
+		return
+	}
+	pct := 0.0
+	if len(ride.Route) > 1 {
+		pct = 100 * float64(ride.Progress) / float64(len(ride.Route)-1)
+	}
+	writeJSON(w, http.StatusOK, RideStatus{
+		RideID:      int64(ride.ID),
+		Source:      toJSON(ride.Source),
+		Dest:        toJSON(ride.Dest),
+		Departure:   ride.Departure,
+		SeatsAvail:  ride.SeatsAvail,
+		SeatsTotal:  ride.SeatsTotal,
+		DetourLeft:  ride.DetourLimit,
+		RouteNodes:  len(ride.Route),
+		ViaPoints:   len(ride.Via),
+		ProgressPct: pct,
+	})
+}
+
+func (s *Server) handleRideRoute(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	doc, err := s.eng.RouteGeoJSON(index.RideID(id))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/geo+json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(doc)
+}
+
+func (s *Server) handleDeleteRide(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	if !s.eng.CompleteRide(index.RideID(id)) {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown ride"})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	matches, err := s.eng.SearchK(req.request(), req.K)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Requester != 0 && s.social != nil {
+		matches = s.eng.RankSocially(matches, core.UserID(req.Requester), s.social)
+	}
+	resp := SearchResponse{Matches: make([]MatchJSON, len(matches))}
+	for i, m := range matches {
+		resp.Matches[i] = MatchJSON{
+			RideID:         int64(m.Ride),
+			PickupCluster:  m.PickupCluster,
+			DropoffCluster: m.DropoffCluster,
+			WalkSourceM:    m.WalkSource,
+			WalkDestM:      m.WalkDest,
+			DetourEstM:     m.DetourEstimate,
+			PickupETA:      m.PickupETA,
+			DropoffETA:     m.DropoffETA,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchSearchRequest is the POST /v1/search/batch body — the shape of an
+// MMTP issuing its C(k+1,2) segment searches for one trip plan (§IX-B).
+type BatchSearchRequest struct {
+	Requests []SearchRequest `json:"requests"`
+	K        int             `json:"k,omitempty"`
+}
+
+// BatchSearchResponse aligns with the request slice; failed entries have
+// Error set and no matches.
+type BatchSearchResponse struct {
+	Results []BatchSearchResult `json:"results"`
+}
+
+// BatchSearchResult is one entry of a batch reply.
+type BatchSearchResult struct {
+	Matches []MatchJSON `json:"matches"`
+	Error   string      `json:"error,omitempty"`
+}
+
+const maxBatchSize = 256
+
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSearchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty batch"})
+		return
+	}
+	if len(req.Requests) > maxBatchSize {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("batch exceeds %d requests", maxBatchSize)})
+		return
+	}
+	reqs := make([]core.Request, len(req.Requests))
+	for i, sr := range req.Requests {
+		reqs[i] = sr.request()
+	}
+	results, errs := s.eng.SearchBatch(reqs, req.K, 0)
+	resp := BatchSearchResponse{Results: make([]BatchSearchResult, len(reqs))}
+	for i := range reqs {
+		if errs[i] != nil {
+			resp.Results[i].Error = errs[i].Error()
+			continue
+		}
+		ms := make([]MatchJSON, len(results[i]))
+		for j, m := range results[i] {
+			ms[j] = MatchJSON{
+				RideID:         int64(m.Ride),
+				PickupCluster:  m.PickupCluster,
+				DropoffCluster: m.DropoffCluster,
+				WalkSourceM:    m.WalkSource,
+				WalkDestM:      m.WalkDest,
+				DetourEstM:     m.DetourEstimate,
+				PickupETA:      m.PickupETA,
+				DropoffETA:     m.DropoffETA,
+			}
+		}
+		resp.Results[i].Matches = ms
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBook(w http.ResponseWriter, r *http.Request) {
+	var req BookRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	// The engine re-derives the support pair from the clusters, so a
+	// Match rebuilt from wire fields is sufficient and tamper-safe.
+	m := core.Match{
+		Ride:           index.RideID(req.Match.RideID),
+		PickupCluster:  req.Match.PickupCluster,
+		DropoffCluster: req.Match.DropoffCluster,
+	}
+	bk, err := s.eng.Book(m, req.Request.request())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, BookingJSON{
+		RideID:        int64(bk.Ride),
+		PickupNode:    int64(bk.PickupNode),
+		DropoffNode:   int64(bk.DropoffNode),
+		PickupETA:     bk.PickupETA,
+		DropoffETA:    bk.DropoffETA,
+		WalkSourceM:   bk.WalkSource,
+		WalkDestM:     bk.WalkDest,
+		DetourM:       bk.DetourActual,
+		ApproxErrorM:  bk.ApproxError(),
+		ShortestPaths: bk.ShortestPathRuns,
+	})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	var req CancelRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	err := s.eng.CancelBooking(index.RideID(req.RideID),
+		roadnet.NodeID(req.PickupNode), roadnet.NodeID(req.DropoffNode))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
+	var req TrackRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var arrived bool
+	var err error
+	switch {
+	case req.GPS != nil:
+		arrived, err = s.eng.TrackPosition(index.RideID(req.RideID), req.GPS.point())
+	case req.Now != nil:
+		arrived, err = s.eng.Track(index.RideID(req.RideID), *req.Now)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "track needs now or gps"})
+		return
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TrackResponse{Arrived: arrived})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Metrics())
+}
+
+// HealthResponse is the GET /v1/healthz body.
+type HealthResponse struct {
+	Status      string  `json:"status"`
+	ActiveRides int     `json:"active_rides"`
+	Clusters    int     `json:"clusters"`
+	Landmarks   int     `json:"landmarks"`
+	EpsilonM    float64 `json:"epsilon_m"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	d := s.eng.Disc()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:      "ok",
+		ActiveRides: s.eng.NumRides(),
+		Clusters:    d.NumClusters(),
+		Landmarks:   len(d.Landmarks),
+		EpsilonM:    d.Epsilon(),
+	})
+}
+
+// --- plumbing ---
+
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func pathID(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid ride id"})
+		return 0, false
+	}
+	return id, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps engine errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, core.ErrUnknownRide):
+		status = http.StatusNotFound
+	case errors.Is(err, core.ErrNotServable),
+		errors.Is(err, core.ErrUnreachable):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, core.ErrRideFull),
+		errors.Is(err, core.ErrNoLongerFeasible),
+		errors.Is(err, core.ErrDetourExceeded):
+		status = http.StatusConflict
+	default:
+		// Validation failures from the engine are client errors.
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

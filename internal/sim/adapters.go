@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"errors"
+
+	"xar/internal/core"
+	"xar/internal/tshare"
+)
+
+// XARSystem adapts *core.Engine to the System interface.
+type XARSystem struct {
+	Engine *core.Engine
+}
+
+// Name implements System.
+func (s *XARSystem) Name() string { return "XAR" }
+
+// Create implements System.
+func (s *XARSystem) Create(o Offer) (int64, error) {
+	id, err := s.Engine.CreateRide(core.RideOffer{
+		Source:      o.Source,
+		Dest:        o.Dest,
+		Departure:   o.Departure,
+		Seats:       o.Seats,
+		DetourLimit: o.DetourLimit,
+	})
+	if err != nil {
+		if errors.Is(err, core.ErrNotServable) || errors.Is(err, core.ErrUnreachable) {
+			return 0, MarkNotServable(err)
+		}
+		return 0, err
+	}
+	return int64(id), nil
+}
+
+// Search implements System.
+func (s *XARSystem) Search(r Request, k int) ([]Candidate, error) {
+	ms, err := s.Engine.SearchK(coreRequest(r), k)
+	if err != nil {
+		if errors.Is(err, core.ErrNotServable) {
+			return nil, MarkNotServable(err)
+		}
+		return nil, err
+	}
+	out := make([]Candidate, len(ms))
+	for i, m := range ms {
+		out[i] = Candidate{Key: int64(m.Ride), Walk: m.TotalWalk(), Payload: m}
+	}
+	return out, nil
+}
+
+// Book implements System.
+func (s *XARSystem) Book(c Candidate, r Request) (BookResult, error) {
+	m, ok := c.Payload.(core.Match)
+	if !ok {
+		return BookResult{}, errors.New("sim: candidate is not a XAR match")
+	}
+	bk, err := s.Engine.Book(m, coreRequest(r))
+	if err != nil {
+		return BookResult{}, err
+	}
+	return BookResult{
+		Detour:      bk.DetourActual,
+		ApproxError: bk.ApproxError(),
+		Walk:        bk.WalkSource + bk.WalkDest,
+	}, nil
+}
+
+// Advance implements System.
+func (s *XARSystem) Advance(now float64) int {
+	done, _ := s.Engine.TrackAll(now)
+	return done
+}
+
+// ActiveRides implements System.
+func (s *XARSystem) ActiveRides() int { return s.Engine.NumRides() }
+
+func coreRequest(r Request) core.Request {
+	return core.Request{
+		Source:            r.Source,
+		Dest:              r.Dest,
+		EarliestDeparture: r.Earliest,
+		LatestDeparture:   r.Latest,
+		WalkLimit:         r.WalkLimit,
+	}
+}
+
+// TShareSystem adapts *tshare.Engine to the System interface.
+type TShareSystem struct {
+	Engine *tshare.Engine
+}
+
+// Name implements System.
+func (s *TShareSystem) Name() string { return "T-Share" }
+
+// Create implements System.
+func (s *TShareSystem) Create(o Offer) (int64, error) {
+	id, err := s.Engine.Create(tshare.Offer{
+		Source:      o.Source,
+		Dest:        o.Dest,
+		Departure:   o.Departure,
+		Seats:       o.Seats,
+		DetourLimit: o.DetourLimit,
+	})
+	if err != nil {
+		if errors.Is(err, tshare.ErrOutOfRegion) || errors.Is(err, tshare.ErrUnreachable) {
+			return 0, MarkNotServable(err)
+		}
+		return 0, err
+	}
+	return int64(id), nil
+}
+
+// Search implements System.
+func (s *TShareSystem) Search(r Request, k int) ([]Candidate, error) {
+	ms, err := s.Engine.Search(tshareRequest(r), k)
+	if err != nil {
+		if errors.Is(err, tshare.ErrOutOfRegion) {
+			return nil, MarkNotServable(err)
+		}
+		return nil, err
+	}
+	out := make([]Candidate, len(ms))
+	for i, m := range ms {
+		// T-Share picks up at the doorstep; no walking component.
+		out[i] = Candidate{Key: int64(m.Taxi), Walk: 0, Payload: m}
+	}
+	return out, nil
+}
+
+// Book implements System.
+func (s *TShareSystem) Book(c Candidate, r Request) (BookResult, error) {
+	m, ok := c.Payload.(tshare.Match)
+	if !ok {
+		return BookResult{}, errors.New("sim: candidate is not a T-Share match")
+	}
+	if err := s.Engine.Book(m, tshareRequest(r)); err != nil {
+		return BookResult{}, err
+	}
+	return BookResult{Detour: m.Detour}, nil
+}
+
+// Advance implements System.
+func (s *TShareSystem) Advance(now float64) int { return s.Engine.Advance(now) }
+
+// ActiveRides implements System.
+func (s *TShareSystem) ActiveRides() int { return s.Engine.NumTaxis() }
+
+func tshareRequest(r Request) tshare.Request {
+	return tshare.Request{
+		Source:            r.Source,
+		Dest:              r.Dest,
+		EarliestDeparture: r.Earliest,
+		LatestDeparture:   r.Latest,
+		WalkLimit:         r.WalkLimit,
+	}
+}

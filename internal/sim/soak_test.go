@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+
+	"xar/internal/workload"
+)
+
+// TestSoakFullDay replays a full-day, larger workload through XAR and
+// checks global invariants at the end — the long-haul robustness test.
+// Skipped under -short.
+func TestSoakFullDay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	city := testCity(t)
+	sys := testXAR(t, city)
+
+	cfg := workload.DefaultConfig(8000, 99)
+	trips, err := workload.Generate(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, trips, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched+res.Created+res.NotServable != res.Requests {
+		t.Fatalf("accounting broken after %d requests", res.Requests)
+	}
+	if res.MatchRate() < 0.3 {
+		t.Fatalf("match rate %.2f collapsed over the day", res.MatchRate())
+	}
+	// The index stays structurally sound after thousands of mixed
+	// operations with tracking interleaved.
+	if err := sys.Engine.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The approximation guarantee held for every one of the bookings.
+	eps := sys.Engine.Disc().Epsilon()
+	if res.ApproxErrors.N() > 0 && res.ApproxErrors.Max() > 4*eps {
+		t.Fatalf("approx error %.1f > 4ε after %d bookings", res.ApproxErrors.Max(), res.ApproxErrors.N())
+	}
+	// Engine metrics agree with the replay's accounting.
+	m := sys.Engine.Metrics()
+	if int(m.RidesCreated) != res.Created {
+		t.Fatalf("metrics created %d, replay created %d", m.RidesCreated, res.Created)
+	}
+	if int(m.Bookings) != res.Matched {
+		t.Fatalf("metrics bookings %d, replay matched %d", m.Bookings, res.Matched)
+	}
+	// Most rides completed over the day (tracking removes them).
+	if done := m.RidesCompleted; int(done) < res.Created/2 {
+		t.Fatalf("only %d of %d rides completed by end of day", done, res.Created)
+	}
+	t.Logf("soak: %d requests, %.1f%% matched, %d cars, %d completed, search %s",
+		res.Requests, 100*res.MatchRate(), res.Created, m.RidesCompleted,
+		res.SearchTimes.Summary("ms"))
+}

@@ -1,0 +1,199 @@
+package transit
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"xar/internal/geo"
+)
+
+// This file implements a loader for a GTFS-flavored text interchange
+// format, so real feeds (after a trivial conversion) or hand-authored
+// networks can replace the synthetic generator. Two files are consumed:
+//
+// stops.txt — the GTFS stops subset:
+//
+//	stop_id,stop_name,stop_lat,stop_lon
+//	s0,Main St,40.701,-74.012
+//
+// routes.txt — one line per directed route, frequency-based (GTFS
+// frequencies.txt semantics folded in):
+//
+//	route_id,route_name,mode,headway_s,first_dep_s,last_dep_s,speed_mps,dwell_s,stops
+//	r0,Line 1 north,subway,360,18000,86400,12,20,s0|s1|s2
+//
+// The mode column accepts "subway" and "bus"; the stops column is a
+// |-separated list of stop_ids in visit order.
+
+// LoadStops parses the stops file and returns the stops plus the
+// stop_id → index mapping the routes file references.
+func LoadStops(r io.Reader) ([]Stop, map[string]StopID, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("transit: stops header: %w", err)
+	}
+	want := []string{"stop_id", "stop_name", "stop_lat", "stop_lon"}
+	for i, h := range want {
+		if header[i] != h {
+			return nil, nil, fmt.Errorf("transit: stops column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var stops []Stop
+	byName := make(map[string]StopID)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("transit: stops line %d: %w", line, err)
+		}
+		lat, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("transit: stops line %d: stop_lat: %w", line, err)
+		}
+		lng, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("transit: stops line %d: stop_lon: %w", line, err)
+		}
+		p := geo.Point{Lat: lat, Lng: lng}
+		if !p.Valid() {
+			return nil, nil, fmt.Errorf("transit: stops line %d: invalid coordinates %v", line, p)
+		}
+		if _, dup := byName[rec[0]]; dup {
+			return nil, nil, fmt.Errorf("transit: stops line %d: duplicate stop_id %q", line, rec[0])
+		}
+		id := StopID(len(stops))
+		byName[rec[0]] = id
+		stops = append(stops, Stop{ID: id, Name: rec[1], Point: p})
+	}
+	return stops, byName, nil
+}
+
+// LoadRoutes parses the routes file against a loaded stop set.
+func LoadRoutes(r io.Reader, stops []Stop, byName map[string]StopID) ([]Route, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 9
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("transit: routes header: %w", err)
+	}
+	want := []string{"route_id", "route_name", "mode", "headway_s", "first_dep_s", "last_dep_s", "speed_mps", "dwell_s", "stops"}
+	for i, h := range want {
+		if header[i] != h {
+			return nil, fmt.Errorf("transit: routes column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var routes []Route
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("transit: routes line %d: %w", line, err)
+		}
+		var mode Mode
+		switch rec[2] {
+		case "subway":
+			mode = ModeSubway
+		case "bus":
+			mode = ModeBus
+		default:
+			return nil, fmt.Errorf("transit: routes line %d: unknown mode %q", line, rec[2])
+		}
+		nums := make([]float64, 5)
+		for i := 0; i < 5; i++ {
+			nums[i], err = strconv.ParseFloat(rec[i+3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("transit: routes line %d: column %s: %w", line, want[i+3], err)
+			}
+		}
+		var stopIDs []StopID
+		for _, name := range strings.Split(rec[8], "|") {
+			id, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("transit: routes line %d: unknown stop %q", line, name)
+			}
+			stopIDs = append(stopIDs, id)
+		}
+		if len(stopIDs) < 2 {
+			return nil, fmt.Errorf("transit: routes line %d: route needs >= 2 stops", line)
+		}
+		route, err := NewRoute(len(routes), rec[1], mode, stopIDs, stops,
+			nums[3], nums[0], nums[1], nums[2], nums[4])
+		if err != nil {
+			return nil, fmt.Errorf("transit: routes line %d: %w", line, err)
+		}
+		routes = append(routes, route)
+	}
+	return routes, nil
+}
+
+// LoadNetwork assembles a network from the two interchange files.
+func LoadNetwork(stopsFile, routesFile io.Reader) (*Network, error) {
+	stops, byName, err := LoadStops(stopsFile)
+	if err != nil {
+		return nil, err
+	}
+	routes, err := LoadRoutes(routesFile, stops, byName)
+	if err != nil {
+		return nil, err
+	}
+	return NewNetwork(stops, routes)
+}
+
+// SaveNetwork writes a network in the interchange format, inverse of
+// LoadNetwork (stop IDs are rendered as s<index>).
+func SaveNetwork(n *Network, stopsFile, routesFile io.Writer) error {
+	sw := csv.NewWriter(stopsFile)
+	if err := sw.Write([]string{"stop_id", "stop_name", "stop_lat", "stop_lon"}); err != nil {
+		return err
+	}
+	for i, s := range n.Stops {
+		if err := sw.Write([]string{
+			fmt.Sprintf("s%d", i), s.Name,
+			strconv.FormatFloat(s.Point.Lat, 'f', 7, 64),
+			strconv.FormatFloat(s.Point.Lng, 'f', 7, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	sw.Flush()
+	if err := sw.Error(); err != nil {
+		return err
+	}
+
+	rw := csv.NewWriter(routesFile)
+	if err := rw.Write([]string{"route_id", "route_name", "mode", "headway_s", "first_dep_s", "last_dep_s", "speed_mps", "dwell_s", "stops"}); err != nil {
+		return err
+	}
+	for i, r := range n.Routes {
+		names := make([]string, len(r.Stops))
+		for j, s := range r.Stops {
+			names[j] = fmt.Sprintf("s%d", s)
+		}
+		// Back out the average speed from the first leg (NewRoute derives
+		// leg times as dist/speed + dwell).
+		d := geo.Haversine(n.Stops[r.Stops[0]].Point, n.Stops[r.Stops[1]].Point)
+		speed := d / (r.LegTime(0) - r.Dwell)
+		if err := rw.Write([]string{
+			fmt.Sprintf("r%d", i), r.Name, r.Mode.String(),
+			strconv.FormatFloat(r.Headway, 'f', 1, 64),
+			strconv.FormatFloat(r.First, 'f', 1, 64),
+			strconv.FormatFloat(r.Last, 'f', 1, 64),
+			strconv.FormatFloat(speed, 'f', 3, 64),
+			strconv.FormatFloat(r.Dwell, 'f', 1, 64),
+			strings.Join(names, "|"),
+		}); err != nil {
+			return err
+		}
+	}
+	rw.Flush()
+	return rw.Error()
+}

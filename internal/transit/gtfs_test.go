@@ -1,0 +1,108 @@
+package transit
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+const stopsCSV = `stop_id,stop_name,stop_lat,stop_lon
+s0,Alpha,40.7010000,-74.0120000
+s1,Bravo,40.7080000,-74.0120000
+s2,Charlie,40.7150000,-74.0120000
+`
+
+const routesCSV = `route_id,route_name,mode,headway_s,first_dep_s,last_dep_s,speed_mps,dwell_s,stops
+r0,Line 1 north,subway,360,18000,86400,12,20,s0|s1|s2
+r1,Line 1 south,subway,360,18000,86400,12,20,s2|s1|s0
+`
+
+func TestLoadNetwork(t *testing.T) {
+	n, err := LoadNetwork(strings.NewReader(stopsCSV), strings.NewReader(routesCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Stops) != 3 || len(n.Routes) != 2 {
+		t.Fatalf("loaded %d stops, %d routes", len(n.Stops), len(n.Routes))
+	}
+	if n.Stops[1].Name != "Bravo" {
+		t.Fatalf("stop 1 = %q", n.Stops[1].Name)
+	}
+	r := n.Routes[0]
+	if r.Mode != ModeSubway || r.Headway != 360 {
+		t.Fatalf("route 0: %+v", r)
+	}
+	// ~778 m between stops at 12 m/s + 20 s dwell ≈ 85 s.
+	if r.LegTime(0) < 70 || r.LegTime(0) > 100 {
+		t.Fatalf("leg time %v", r.LegTime(0))
+	}
+	dep, ok := r.NextDeparture(0, 18000)
+	if !ok || dep != 18000 {
+		t.Fatalf("first departure %v %v", dep, ok)
+	}
+}
+
+func TestLoadStopsErrors(t *testing.T) {
+	cases := []string{
+		"",          // empty
+		"a,b,c,d\n", // wrong header
+		"stop_id,stop_name,stop_lat,stop_lon\nx,N,zz,0",           // bad lat
+		"stop_id,stop_name,stop_lat,stop_lon\nx,N,999,0",          // out of range
+		"stop_id,stop_name,stop_lat,stop_lon\na,N,1,1\na,M,2,2\n", // duplicate id
+	}
+	for i, in := range cases {
+		if _, _, err := LoadStops(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLoadRoutesErrors(t *testing.T) {
+	stops, byName, err := LoadStops(strings.NewReader(stopsCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := "route_id,route_name,mode,headway_s,first_dep_s,last_dep_s,speed_mps,dwell_s,stops\n"
+	cases := []string{
+		"",                    // empty
+		"a,b,c,d,e,f,g,h,i\n", // wrong header
+		header + "r0,L,tram,360,0,86400,12,20,s0|s1\n", // unknown mode
+		header + "r0,L,bus,zz,0,86400,12,20,s0|s1\n",   // bad number
+		header + "r0,L,bus,360,0,86400,12,20,s0|s9\n",  // unknown stop
+		header + "r0,L,bus,360,0,86400,12,20,s0\n",     // too few stops
+		header + "r0,L,bus,360,0,86400,0,20,s0|s1\n",   // zero speed
+	}
+	for i, in := range cases {
+		if _, err := LoadRoutes(strings.NewReader(in), stops, byName); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSaveLoadNetworkRoundTrip(t *testing.T) {
+	orig := testNetwork(t)
+	var stopsBuf, routesBuf bytes.Buffer
+	if err := SaveNetwork(orig, &stopsBuf, &routesBuf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadNetwork(&stopsBuf, &routesBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Stops) != len(orig.Stops) || len(back.Routes) != len(orig.Routes) {
+		t.Fatalf("round trip: %d/%d stops, %d/%d routes",
+			len(back.Stops), len(orig.Stops), len(back.Routes), len(orig.Routes))
+	}
+	for i := range orig.Routes {
+		a, b := orig.Routes[i], back.Routes[i]
+		if a.Headway != b.Headway || a.Mode != b.Mode || len(a.Stops) != len(b.Stops) {
+			t.Fatalf("route %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.legTime {
+			if math.Abs(a.LegTime(j)-b.LegTime(j)) > 0.5 {
+				t.Fatalf("route %d leg %d time %v vs %v", i, j, a.LegTime(j), b.LegTime(j))
+			}
+		}
+	}
+}

@@ -1,0 +1,469 @@
+package tshare
+
+import (
+	"math"
+	"testing"
+
+	"xar/internal/geo"
+	"xar/internal/roadnet"
+)
+
+func testCity(t testing.TB) *roadnet.City {
+	t.Helper()
+	city, err := roadnet.GenerateCity(roadnet.DefaultCityConfig(24, 14, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return city
+}
+
+func newTestEngine(t testing.TB) *Engine {
+	t.Helper()
+	e, err := New(testCity(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func farPoints(t testing.TB, e *Engine) (geo.Point, geo.Point) {
+	t.Helper()
+	g := e.city.Graph
+	return g.Point(0), g.Point(roadnet.NodeID(g.NumNodes() - 1))
+}
+
+func corridorRequest(e *Engine, tx *Taxi, fromFrac, toFrac, window float64) Request {
+	g := e.city.Graph
+	si := int(fromFrac * float64(len(tx.Route)-1))
+	di := int(toFrac * float64(len(tx.Route)-1))
+	return Request{
+		Source:            g.Point(tx.Route[si]),
+		Dest:              g.Point(tx.Route[di]),
+		EarliestDeparture: tx.RouteETA[0] - window,
+		LatestDeparture:   tx.RouteETA[0] + window,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	city := testCity(t)
+	if _, err := New(city, Config{GridCellSize: 0, MaxExpandGrids: 80}); err == nil {
+		t.Fatal("zero cell size must be rejected")
+	}
+	if _, err := New(city, Config{GridCellSize: 1000, MaxExpandGrids: 0}); err == nil {
+		t.Fatal("zero expansion cap must be rejected")
+	}
+}
+
+func TestCreateBasics(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	id, err := e.Create(Offer{Source: src, Dest: dst, Departure: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Taxi(id)
+	if tx == nil {
+		t.Fatal("created taxi not retrievable")
+	}
+	if tx.SeatsAvail != 3 {
+		t.Fatalf("seats = %d, want 3", tx.SeatsAvail)
+	}
+	if len(tx.cells) == 0 {
+		t.Fatal("taxi not registered in any cell")
+	}
+	if e.NumTaxis() != 1 {
+		t.Fatalf("NumTaxis = %d", e.NumTaxis())
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	if _, err := e.Create(Offer{Source: src, Dest: src}); err == nil {
+		t.Fatal("coincident endpoints must be rejected")
+	}
+	if _, err := e.Create(Offer{Source: src, Dest: dst, Seats: 1}); err == nil {
+		t.Fatal("capacity 1 must be rejected")
+	}
+	if _, err := e.Create(Offer{Source: src, Dest: dst, DetourLimit: -1}); err == nil {
+		t.Fatal("negative detour must be rejected")
+	}
+}
+
+func TestSearchFindsCorridorTaxi(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	id, err := e.Create(Offer{Source: src, Dest: dst, Departure: 100, DetourLimit: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Taxi(id)
+	req := corridorRequest(e, tx, 0.2, 0.8, 3600)
+	ms, err := e.Search(req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range ms {
+		if m.Taxi == id {
+			found = true
+			if m.Detour > tx.DetourLimit {
+				t.Fatalf("match detour %.1f > limit", m.Detour)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("corridor request not matched (%d matches)", len(ms))
+	}
+}
+
+func TestSearchOutOfRegion(t *testing.T) {
+	e := newTestEngine(t)
+	req := Request{Source: geo.Point{Lat: 10, Lng: 10}, Dest: geo.Point{Lat: 10.1, Lng: 10}, LatestDeparture: 100}
+	if _, err := e.Search(req, 0); err != ErrOutOfRegion {
+		t.Fatalf("err = %v, want ErrOutOfRegion", err)
+	}
+}
+
+func TestSearchTimeWindow(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	id, err := e.Create(Offer{Source: src, Dest: dst, Departure: 50000, DetourLimit: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Taxi(id)
+	req := corridorRequest(e, tx, 0.2, 0.8, 3600)
+	req.EarliestDeparture = 0
+	req.LatestDeparture = 100
+	ms, err := e.Search(req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Taxi == id {
+			t.Fatal("taxi matched far outside its schedule")
+		}
+	}
+}
+
+func TestSearchKEarlyTermination(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	for i := 0; i < 6; i++ {
+		if _, err := e.Create(Offer{Source: src, Dest: dst, Departure: float64(100 + i), DetourLimit: 1500}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx := e.Taxi(1)
+	req := corridorRequest(e, tx, 0.2, 0.8, 3600)
+	all, err := e.Search(req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 3 {
+		t.Skipf("only %d matches; layout-dependent", len(all))
+	}
+	two, err := e.Search(req, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 {
+		t.Fatalf("k=2 returned %d matches", len(two))
+	}
+}
+
+func TestHaversineValidationMode(t *testing.T) {
+	city := testCity(t)
+	cfg := DefaultConfig()
+	cfg.HaversineValidation = true
+	e, err := New(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := city.Graph.Point(0)
+	dst := city.Graph.Point(roadnet.NodeID(city.Graph.NumNodes() - 1))
+	id, err := e.Create(Offer{Source: src, Dest: dst, Departure: 100, DetourLimit: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Taxi(id)
+	req := corridorRequest(e, tx, 0.2, 0.8, 3600)
+	ms, err := e.Search(req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("haversine mode found no matches on the corridor")
+	}
+}
+
+func TestBookEndToEnd(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	id, err := e.Create(Offer{Source: src, Dest: dst, Departure: 100, DetourLimit: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Taxi(id)
+	req := corridorRequest(e, tx, 0.3, 0.7, 3600)
+	ms, err := e.Search(req, 1)
+	if err != nil || len(ms) == 0 {
+		t.Fatalf("search: %v / %d matches", err, len(ms))
+	}
+	seatsBefore := tx.SeatsAvail
+	budgetBefore := tx.DetourLimit
+	lenBefore, _ := e.city.Graph.PathLength(tx.Route)
+
+	if err := e.Book(ms[0], req); err != nil {
+		t.Fatal(err)
+	}
+	if tx.SeatsAvail != seatsBefore-1 {
+		t.Fatalf("seats %d → %d", seatsBefore, tx.SeatsAvail)
+	}
+	lenAfter, err := e.city.Graph.PathLength(tx.Route)
+	if err != nil {
+		t.Fatalf("route corrupted: %v", err)
+	}
+	grown := lenAfter - lenBefore
+	if grown < -1 {
+		t.Fatalf("route shrank by %.1f m", -grown)
+	}
+	if budgetBefore-tx.DetourLimit < grown-1 {
+		t.Fatalf("budget not charged: %.1f → %.1f for %.1f m detour", budgetBefore, tx.DetourLimit, grown)
+	}
+	if len(tx.Via) != 4 {
+		t.Fatalf("schedule has %d vias, want 4", len(tx.Via))
+	}
+	// Vias are consistent with the route.
+	for _, v := range tx.Via {
+		if tx.Route[v.RouteIdx] != v.Node {
+			t.Fatalf("via %v not at route index %d", v.Node, v.RouteIdx)
+		}
+	}
+	for i := 1; i < len(tx.Via); i++ {
+		if tx.Via[i].RouteIdx < tx.Via[i-1].RouteIdx {
+			t.Fatal("vias out of order")
+		}
+	}
+}
+
+func TestBookUnknownTaxi(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	req := Request{Source: src, Dest: dst, LatestDeparture: 100}
+	if err := e.Book(Match{Taxi: 999}, req); err != ErrUnknownTaxi {
+		t.Fatalf("err = %v, want ErrUnknownTaxi", err)
+	}
+}
+
+func TestBookUntilFull(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	id, err := e.Create(Offer{Source: src, Dest: dst, Departure: 100, Seats: 3, DetourLimit: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Taxi(id)
+	booked := 0
+	for i := 0; i < 5; i++ {
+		req := corridorRequest(e, tx, 0.3, 0.7, 3600)
+		ms, err := e.Search(req, 1)
+		if err != nil || len(ms) == 0 {
+			break
+		}
+		var m *Match
+		for j := range ms {
+			if ms[j].Taxi == id {
+				m = &ms[j]
+			}
+		}
+		if m == nil {
+			break
+		}
+		if err := e.Book(*m, req); err != nil {
+			break
+		}
+		booked++
+	}
+	if booked != 2 {
+		t.Fatalf("capacity-3 taxi accepted %d bookings, want 2", booked)
+	}
+}
+
+func TestAdvanceCompletesTaxis(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	id, err := e.Create(Offer{Source: src, Dest: dst, Departure: 0, DetourLimit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Taxi(id)
+	end := tx.RouteETA[len(tx.RouteETA)-1]
+
+	if done := e.Advance(end / 2); done != 0 {
+		t.Fatalf("completed %d taxis at half time", done)
+	}
+	if tx.Progress == 0 {
+		t.Fatal("progress did not advance")
+	}
+	if done := e.Advance(end + 1); done != 1 {
+		t.Fatalf("completed %d taxis at end time, want 1", done)
+	}
+	if e.NumTaxis() != 0 {
+		t.Fatal("taxi not removed after completion")
+	}
+}
+
+func TestAdvancePrunesPassedCells(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	id, err := e.Create(Offer{Source: src, Dest: dst, Departure: 0, DetourLimit: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Taxi(id)
+	cellsBefore := len(tx.cells)
+	end := tx.RouteETA[len(tx.RouteETA)-1]
+	e.Advance(end * 0.8)
+	if len(tx.cells) >= cellsBefore {
+		t.Fatalf("cells %d → %d; passed cells not pruned", cellsBefore, len(tx.cells))
+	}
+	// A request at the passed origin must not match the taxi anymore.
+	req := Request{
+		Source: src, Dest: dst,
+		EarliestDeparture: 0, LatestDeparture: end,
+	}
+	ms, err := e.Search(req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Taxi == id && m.PickupETA < end*0.8 {
+			t.Fatal("taxi offered for a pickup time it has already passed")
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	id, err := e.Create(Offer{Source: src, Dest: dst, Departure: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Remove(id) {
+		t.Fatal("Remove returned false")
+	}
+	if e.Remove(id) {
+		t.Fatal("double remove must return false")
+	}
+	for c, list := range e.cells {
+		for _, entry := range list {
+			if entry.taxi == id {
+				t.Fatalf("removed taxi still in cell %v", c)
+			}
+		}
+	}
+}
+
+func TestValidateDetourIsExact(t *testing.T) {
+	// In shortest-path mode the match detour must equal the real route
+	// growth when booked (modulo snap).
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	id, err := e.Create(Offer{Source: src, Dest: dst, Departure: 100, DetourLimit: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Taxi(id)
+	req := corridorRequest(e, tx, 0.25, 0.75, 3600)
+	ms, err := e.Search(req, 1)
+	if err != nil || len(ms) == 0 {
+		t.Fatalf("search: %v / %d", err, len(ms))
+	}
+	lenBefore, _ := e.city.Graph.PathLength(tx.Route)
+	if err := e.Book(ms[0], req); err != nil {
+		t.Fatal(err)
+	}
+	lenAfter, _ := e.city.Graph.PathLength(tx.Route)
+	if math.Abs((lenAfter-lenBefore)-ms[0].Detour) > 1 {
+		t.Fatalf("validated detour %.1f, actual %.1f", ms[0].Detour, lenAfter-lenBefore)
+	}
+}
+
+func TestExpansionCapRespected(t *testing.T) {
+	// With a tiny expansion cap, distant taxis are not discovered.
+	city := testCity(t)
+	cfg := DefaultConfig()
+	cfg.MaxExpandGrids = 1
+	e, err := New(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := city.Graph.Point(0), city.Graph.Point(roadnet.NodeID(city.Graph.NumNodes()-1))
+	if _, err := e.Create(Offer{Source: src, Dest: dst, Departure: 100, DetourLimit: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	// Request origin several cells away from the route's cells: with a
+	// 1-cell cap nothing is found unless the origin cell itself has the
+	// taxi.
+	mid := geo.Midpoint(src, dst)
+	far := geo.Destination(mid, 90, 3000)
+	req := Request{Source: far, Dest: dst, EarliestDeparture: 0, LatestDeparture: 1e6}
+	ms, err := e.Search(req, 0)
+	if err != nil && err != ErrOutOfRegion {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("cap-1 search found %d matches 3 km off the route", len(ms))
+	}
+}
+
+func TestBookRevalidatesWhenScheduleChanged(t *testing.T) {
+	// A match held across another booking (which changes the schedule
+	// revision) must be re-validated rather than inserted blindly.
+	e := newTestEngine(t)
+	src, dst := farPoints(t, e)
+	id, err := e.Create(Offer{Source: src, Dest: dst, Departure: 100, Seats: 8, DetourLimit: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Taxi(id)
+	req := corridorRequest(e, tx, 0.3, 0.7, 3600)
+	ms, err := e.Search(req, 1)
+	if err != nil || len(ms) == 0 {
+		t.Skip("no match; layout-dependent")
+	}
+	stale := ms[0]
+
+	// Mutate the schedule with a different booking.
+	req2 := corridorRequest(e, tx, 0.2, 0.6, 3600)
+	ms2, err := e.Search(req2, 1)
+	if err != nil || len(ms2) == 0 {
+		t.Skip("no second match")
+	}
+	if err := e.Book(ms2[0], req2); err != nil {
+		t.Skip("second booking failed")
+	}
+
+	// Booking the stale match must still produce a structurally valid
+	// schedule (it re-validates internally because rev changed).
+	if err := e.Book(stale, req); err != nil {
+		// Legitimate: re-validation may reject it now.
+		return
+	}
+	for _, v := range tx.Via {
+		if tx.Route[v.RouteIdx] != v.Node {
+			t.Fatalf("via %v not at route index %d after stale booking", v.Node, v.RouteIdx)
+		}
+	}
+	for i := 1; i < len(tx.Via); i++ {
+		if tx.Via[i].RouteIdx < tx.Via[i-1].RouteIdx {
+			t.Fatal("vias out of order after stale booking")
+		}
+	}
+	if _, err := e.city.Graph.PathLength(tx.Route); err != nil {
+		t.Fatalf("route corrupted: %v", err)
+	}
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"xar/internal/geo"
+)
+
+// csvHeader is the column layout of the trip interchange format — the
+// same fields the NYC taxi dataset provides (pickup time, pickup
+// location, drop-off location).
+var csvHeader = []string{
+	"trip_id", "request_time_s",
+	"pickup_lat", "pickup_lng",
+	"dropoff_lat", "dropoff_lng",
+}
+
+// WriteCSV writes a trip stream in the interchange format, so generated
+// workloads can be inspected, version-pinned and replayed byte-for-byte.
+func WriteCSV(w io.Writer, trips []Trip) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	rec := make([]string, len(csvHeader))
+	for _, t := range trips {
+		rec[0] = strconv.Itoa(t.ID)
+		rec[1] = strconv.FormatFloat(t.RequestTime, 'f', 3, 64)
+		rec[2] = strconv.FormatFloat(t.Pickup.Lat, 'f', 7, 64)
+		rec[3] = strconv.FormatFloat(t.Pickup.Lng, 'f', 7, 64)
+		rec[4] = strconv.FormatFloat(t.Dropoff.Lat, 'f', 7, 64)
+		rec[5] = strconv.FormatFloat(t.Dropoff.Lng, 'f', 7, 64)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trip stream written by WriteCSV (or hand-prepared in
+// the same format, e.g. converted from the real NYC dataset). It
+// validates coordinates and times and requires the exact header.
+func ReadCSV(r io.Reader) ([]Trip, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("workload: column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var trips []Trip
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		t, err := parseTrip(rec)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		trips = append(trips, t)
+	}
+	return trips, nil
+}
+
+func parseTrip(rec []string) (Trip, error) {
+	id, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return Trip{}, fmt.Errorf("trip_id: %w", err)
+	}
+	fs := make([]float64, 5)
+	for i := 0; i < 5; i++ {
+		fs[i], err = strconv.ParseFloat(rec[i+1], 64)
+		if err != nil {
+			return Trip{}, fmt.Errorf("column %s: %w", csvHeader[i+1], err)
+		}
+	}
+	t := Trip{
+		ID:          id,
+		RequestTime: fs[0],
+		Pickup:      geo.Point{Lat: fs[1], Lng: fs[2]},
+		Dropoff:     geo.Point{Lat: fs[3], Lng: fs[4]},
+	}
+	if t.RequestTime < 0 {
+		return Trip{}, fmt.Errorf("negative request time %v", t.RequestTime)
+	}
+	if !t.Pickup.Valid() || !t.Dropoff.Valid() {
+		return Trip{}, fmt.Errorf("invalid coordinates")
+	}
+	return t, nil
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	city := testCity(t)
+	trips, err := Generate(city, DefaultConfig(200, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, trips); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(trips) {
+		t.Fatalf("round trip lost trips: %d vs %d", len(back), len(trips))
+	}
+	for i := range trips {
+		if back[i].ID != trips[i].ID {
+			t.Fatalf("trip %d: ID %d vs %d", i, back[i].ID, trips[i].ID)
+		}
+		if math.Abs(back[i].RequestTime-trips[i].RequestTime) > 1e-3 {
+			t.Fatalf("trip %d: time %v vs %v", i, back[i].RequestTime, trips[i].RequestTime)
+		}
+		if math.Abs(back[i].Pickup.Lat-trips[i].Pickup.Lat) > 1e-6 ||
+			math.Abs(back[i].Dropoff.Lng-trips[i].Dropoff.Lng) > 1e-6 {
+			t.Fatalf("trip %d: coordinates drifted", i)
+		}
+	}
+}
+
+func TestReadCSVEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Fatal("empty stream must round-trip empty")
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"wrong header", "a,b,c,d,e,f\n"},
+		{"bad id", "trip_id,request_time_s,pickup_lat,pickup_lng,dropoff_lat,dropoff_lng\nx,1,2,3,4,5\n"},
+		{"bad float", "trip_id,request_time_s,pickup_lat,pickup_lng,dropoff_lat,dropoff_lng\n1,zz,2,3,4,5\n"},
+		{"negative time", "trip_id,request_time_s,pickup_lat,pickup_lng,dropoff_lat,dropoff_lng\n1,-5,2,3,4,5\n"},
+		{"bad latitude", "trip_id,request_time_s,pickup_lat,pickup_lng,dropoff_lat,dropoff_lng\n1,5,999,3,4,5\n"},
+		{"short row", "trip_id,request_time_s,pickup_lat,pickup_lng,dropoff_lat,dropoff_lng\n1,5,2\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadCSV(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

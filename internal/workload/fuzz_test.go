@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the trip parser never panics and that everything it
+// accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("trip_id,request_time_s,pickup_lat,pickup_lng,dropoff_lat,dropoff_lng\n1,5,40.7,-74,40.8,-73.9\n")
+	f.Add("trip_id,request_time_s,pickup_lat,pickup_lng,dropoff_lat,dropoff_lng\n")
+	f.Add("")
+	f.Add("a,b\n1,2\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		trips, err := ReadCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, trips); err != nil {
+			t.Fatalf("accepted trips failed to write: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(trips) {
+			t.Fatalf("round trip lost trips: %d vs %d", len(back), len(trips))
+		}
+	})
+}

@@ -1,0 +1,282 @@
+// Package workload generates the ride-request streams the experiments
+// run on. The paper replays 350,000 NYC taxi trips from 2013-03-07; that
+// dataset is not redistributable, so this generator synthesizes a demand
+// stream with the same spatio-temporal shape: an AM/PM-peaked time-of-day
+// profile, hotspot-concentrated origins and destinations (midtown-heavy),
+// and trip lengths matching Manhattan taxi statistics (median ≈ 2–3 km).
+// Generation is deterministic per seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"xar/internal/geo"
+	"xar/internal/roadnet"
+)
+
+// Trip is one taxi trip / ride request: a pickup location, a drop-off
+// location and a request time (seconds of day).
+type Trip struct {
+	ID          int
+	Pickup      geo.Point
+	Dropoff     geo.Point
+	RequestTime float64
+}
+
+// Hotspot is a demand center: trips originate/terminate near hotspots
+// with probability proportional to Weight, scattered with a Gaussian of
+// the given sigma (meters).
+type Hotspot struct {
+	Center geo.Point
+	Weight float64
+	Sigma  float64
+}
+
+// Config parameterizes generation.
+type Config struct {
+	// NumTrips is the stream length.
+	NumTrips int
+	// Seed makes the stream deterministic.
+	Seed int64
+	// Hotspots concentrate demand; nil derives a default midtown-heavy
+	// set from the city's bounding box.
+	Hotspots []Hotspot
+	// UniformFrac is the fraction of trip endpoints drawn uniformly from
+	// the city instead of from hotspots (background demand).
+	UniformFrac float64
+	// HourlyWeights is the relative request intensity per hour of day;
+	// zero value uses an NYC-taxi-shaped profile.
+	HourlyWeights [24]float64
+	// MinTripDist / MaxTripDist bound straight-line trip lengths in
+	// meters (rejection sampling).
+	MinTripDist, MaxTripDist float64
+	// StartHour / EndHour bound request times (hours of day).
+	StartHour, EndHour float64
+}
+
+// DefaultConfig returns an NYC-shaped configuration for n trips.
+func DefaultConfig(n int, seed int64) Config {
+	return Config{
+		NumTrips:    n,
+		Seed:        seed,
+		UniformFrac: 0.3,
+		MinTripDist: 800,
+		MaxTripDist: 12000,
+		StartHour:   0,
+		EndHour:     24,
+	}
+}
+
+// nycHourlyProfile approximates NYC taxi pickup counts by hour: a morning
+// ramp, lunchtime plateau, evening peak, late-night tail.
+var nycHourlyProfile = [24]float64{
+	1.2, 0.8, 0.6, 0.4, 0.3, 0.5, // 00–05
+	1.2, 2.2, 3.0, 2.8, 2.4, 2.4, // 06–11
+	2.6, 2.5, 2.6, 2.4, 2.2, 2.8, // 12–17
+	3.4, 3.6, 3.2, 2.8, 2.4, 1.8, // 18–23
+}
+
+// Generate produces a time-sorted trip stream over the city. It fails on
+// degenerate configurations rather than looping forever in rejection
+// sampling.
+func Generate(city *roadnet.City, cfg Config) ([]Trip, error) {
+	if cfg.NumTrips <= 0 {
+		return nil, fmt.Errorf("workload: NumTrips must be positive, got %d", cfg.NumTrips)
+	}
+	if cfg.MinTripDist < 0 || cfg.MaxTripDist <= cfg.MinTripDist {
+		return nil, fmt.Errorf("workload: invalid trip distance bounds [%v, %v]", cfg.MinTripDist, cfg.MaxTripDist)
+	}
+	if cfg.UniformFrac < 0 || cfg.UniformFrac > 1 {
+		return nil, fmt.Errorf("workload: UniformFrac %v out of [0,1]", cfg.UniformFrac)
+	}
+	if cfg.EndHour <= cfg.StartHour || cfg.StartHour < 0 || cfg.EndHour > 24 {
+		return nil, fmt.Errorf("workload: invalid hour window [%v, %v]", cfg.StartHour, cfg.EndHour)
+	}
+	box := city.Graph.BBox()
+	diag := geo.Haversine(
+		geo.Point{Lat: box.MinLat, Lng: box.MinLng},
+		geo.Point{Lat: box.MaxLat, Lng: box.MaxLng},
+	)
+	if cfg.MinTripDist >= diag {
+		return nil, fmt.Errorf("workload: MinTripDist %v exceeds city diagonal %v", cfg.MinTripDist, diag)
+	}
+
+	hotspots := cfg.Hotspots
+	if hotspots == nil {
+		hotspots = DefaultHotspots(city)
+	}
+	weights := cfg.HourlyWeights
+	zero := true
+	for _, w := range weights {
+		if w != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		weights = nycHourlyProfile
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sampler := newHourSampler(weights, cfg.StartHour, cfg.EndHour)
+	totalW := 0.0
+	for _, h := range hotspots {
+		totalW += h.Weight
+	}
+
+	samplePoint := func() geo.Point {
+		if totalW == 0 || rng.Float64() < cfg.UniformFrac {
+			return randomInBox(rng, box)
+		}
+		x := rng.Float64() * totalW
+		for _, h := range hotspots {
+			if x -= h.Weight; x <= 0 {
+				return gaussianAround(rng, h.Center, h.Sigma, box)
+			}
+		}
+		return randomInBox(rng, box)
+	}
+
+	trips := make([]Trip, 0, cfg.NumTrips)
+	for i := 0; i < cfg.NumTrips; i++ {
+		var pu, do geo.Point
+		ok := false
+		for attempt := 0; attempt < 200; attempt++ {
+			pu = samplePoint()
+			do = samplePoint()
+			d := geo.Haversine(pu, do)
+			if d >= cfg.MinTripDist && d <= cfg.MaxTripDist {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("workload: rejection sampling failed for trip %d; distance bounds incompatible with the city", i)
+		}
+		trips = append(trips, Trip{
+			ID:          i,
+			Pickup:      pu,
+			Dropoff:     do,
+			RequestTime: sampler.sample(rng),
+		})
+	}
+	sort.Slice(trips, func(i, j int) bool {
+		if trips[i].RequestTime != trips[j].RequestTime {
+			return trips[i].RequestTime < trips[j].RequestTime
+		}
+		return trips[i].ID < trips[j].ID
+	})
+	return trips, nil
+}
+
+// DefaultHotspots derives a midtown-heavy hotspot set from the city's
+// extents: a dominant center (midtown), a strong south pole (downtown /
+// financial district), and a weaker north pole (uptown).
+func DefaultHotspots(city *roadnet.City) []Hotspot {
+	box := city.Graph.BBox()
+	at := func(fracN, fracE float64) geo.Point {
+		return geo.Point{
+			Lat: box.MinLat + fracN*(box.MaxLat-box.MinLat),
+			Lng: box.MinLng + fracE*(box.MaxLng-box.MinLng),
+		}
+	}
+	scale := box.HeightMeters()
+	return []Hotspot{
+		{Center: at(0.60, 0.50), Weight: 3.0, Sigma: scale * 0.10}, // midtown
+		{Center: at(0.15, 0.45), Weight: 2.0, Sigma: scale * 0.08}, // downtown
+		{Center: at(0.85, 0.55), Weight: 1.0, Sigma: scale * 0.10}, // uptown
+	}
+}
+
+func randomInBox(rng *rand.Rand, box geo.BBox) geo.Point {
+	return geo.Point{
+		Lat: box.MinLat + rng.Float64()*(box.MaxLat-box.MinLat),
+		Lng: box.MinLng + rng.Float64()*(box.MaxLng-box.MinLng),
+	}
+}
+
+func gaussianAround(rng *rand.Rand, center geo.Point, sigma float64, box geo.BBox) geo.Point {
+	for attempt := 0; attempt < 20; attempt++ {
+		north := rng.NormFloat64() * sigma
+		east := rng.NormFloat64() * sigma
+		p := geo.Destination(geo.Destination(center, 0, north), 90, east)
+		if box.Contains(p) {
+			return p
+		}
+	}
+	return center
+}
+
+// hourSampler draws request times from a piecewise-constant hourly
+// intensity restricted to [startHour, endHour).
+type hourSampler struct {
+	cum       []float64 // cumulative weight per included hour
+	hours     []int
+	startHour float64
+}
+
+func newHourSampler(weights [24]float64, startHour, endHour float64) *hourSampler {
+	s := &hourSampler{startHour: startHour}
+	total := 0.0
+	for h := int(startHour); h < int(endHour+0.999) && h < 24; h++ {
+		w := weights[h]
+		if w <= 0 {
+			w = 1e-9
+		}
+		total += w
+		s.cum = append(s.cum, total)
+		s.hours = append(s.hours, h)
+	}
+	return s
+}
+
+func (s *hourSampler) sample(rng *rand.Rand) float64 {
+	total := s.cum[len(s.cum)-1]
+	x := rng.Float64() * total
+	i := sort.SearchFloat64s(s.cum, x)
+	if i >= len(s.hours) {
+		i = len(s.hours) - 1
+	}
+	return float64(s.hours[i])*3600 + rng.Float64()*3600
+}
+
+// Stats summarizes a trip stream for logging and sanity tests.
+type Stats struct {
+	N            int
+	MeanDist     float64
+	MedianDist   float64
+	PeakHour     int
+	PeakHourFrac float64
+}
+
+// Summarize computes stream statistics.
+func Summarize(trips []Trip) Stats {
+	if len(trips) == 0 {
+		return Stats{}
+	}
+	dists := make([]float64, len(trips))
+	var sum float64
+	var perHour [24]int
+	for i, t := range trips {
+		dists[i] = geo.Haversine(t.Pickup, t.Dropoff)
+		sum += dists[i]
+		h := int(t.RequestTime/3600) % 24
+		perHour[h]++
+	}
+	sort.Float64s(dists)
+	peak, peakN := 0, 0
+	for h, n := range perHour {
+		if n > peakN {
+			peak, peakN = h, n
+		}
+	}
+	return Stats{
+		N:            len(trips),
+		MeanDist:     sum / float64(len(trips)),
+		MedianDist:   dists[len(dists)/2],
+		PeakHour:     peak,
+		PeakHourFrac: float64(peakN) / float64(len(trips)),
+	}
+}

@@ -1,0 +1,263 @@
+// Package xar is the public facade of the Xhare-a-Ride (XAR)
+// reproduction: a search-optimized dynamic ride-sharing system with an
+// additive approximation guarantee on detours (Thangaraj et al., ICDE
+// 2017).
+//
+// The facade wires the full stack together — synthetic city generation,
+// the three-tiered region discretization (grids → landmarks → clusters),
+// the in-memory cluster index, and the run-time unit (create / search /
+// book / track) — behind one System type:
+//
+//	sys, err := xar.New(xar.DefaultOptions())
+//	id, err := sys.CreateRide(xar.RideOffer{Source: a, Dest: b, Departure: t})
+//	matches, err := sys.Search(xar.Request{Source: p, Dest: q,
+//	        EarliestDeparture: t, LatestDeparture: t + 900, WalkLimit: 800})
+//	booking, err := sys.Book(matches[0], req)
+//
+// The type aliases re-export the domain types, so downstream code uses
+// only this package. Deeper layers (baseline T-Share, the multi-modal
+// trip planner, the simulation harness) live under internal/ and are
+// exercised by the cmd/ binaries and benchmarks.
+package xar
+
+import (
+	"fmt"
+
+	"xar/internal/core"
+	"xar/internal/discretize"
+	"xar/internal/geo"
+	"xar/internal/index"
+	"xar/internal/memsize"
+	"xar/internal/roadnet"
+)
+
+// Re-exported domain types.
+type (
+	// Point is a WGS-84 coordinate (latitude/longitude in degrees).
+	Point = geo.Point
+	// RideOffer describes a new ride: endpoints, departure time (seconds
+	// since epoch), seats and the driver's detour tolerance in meters.
+	RideOffer = core.RideOffer
+	// Request is a ride request: endpoints, a departure time window and
+	// a walking threshold.
+	Request = core.Request
+	// Match is one feasible ride option returned by Search.
+	Match = core.Match
+	// Booking is a confirmed reservation.
+	Booking = core.Booking
+	// RideID identifies a ride.
+	RideID = index.RideID
+)
+
+// Re-exported sentinel errors.
+var (
+	ErrNotServable      = core.ErrNotServable
+	ErrUnknownRide      = core.ErrUnknownRide
+	ErrRideFull         = core.ErrRideFull
+	ErrNoLongerFeasible = core.ErrNoLongerFeasible
+	ErrDetourExceeded   = core.ErrDetourExceeded
+	ErrUnreachable      = core.ErrUnreachable
+)
+
+// Options configures a System built over a synthetic city. For full
+// control of every subsystem, use the internal packages from within this
+// module (see cmd/ and examples/).
+type Options struct {
+	// CityRows and CityCols size the synthetic street lattice; Seed makes
+	// the city deterministic.
+	CityRows, CityCols int
+	Seed               int64
+
+	// GridCellSize is the lowest-tier grid edge in meters (paper: 100 m).
+	GridCellSize float64
+	// LandmarkMinSep is the paper's f: minimum landmark separation.
+	LandmarkMinSep float64
+	// MaxLandmarks caps landmark extraction (0 = no cap).
+	MaxLandmarks int
+	// Delta is the paper's δ; the clustering guarantees a worst-case
+	// intra-cluster distance ε = 4δ.
+	Delta float64
+	// MaxDriveToLandmark is the paper's Δ: grid→landmark association cap.
+	MaxDriveToLandmark float64
+	// MaxWalk is the paper's W: the system-wide walking limit.
+	MaxWalk float64
+
+	// DefaultDetourLimit and DefaultSeats fill omitted offer fields.
+	DefaultDetourLimit float64
+	DefaultSeats       int
+}
+
+// DefaultOptions mirrors the paper's parameters at reproduction scale.
+func DefaultOptions() Options {
+	return Options{
+		CityRows:           40,
+		CityCols:           20,
+		Seed:               1,
+		GridCellSize:       100,
+		LandmarkMinSep:     200,
+		Delta:              250,
+		MaxDriveToLandmark: 1000,
+		MaxWalk:            1000,
+		DefaultDetourLimit: 2000,
+		DefaultSeats:       4,
+	}
+}
+
+// System is a fully-assembled XAR deployment over a synthetic city.
+type System struct {
+	city   *roadnet.City
+	disc   *discretize.Discretization
+	engine *core.Engine
+}
+
+// New generates the city, runs the discretization pre-processing and
+// starts the run-time unit.
+func New(opts Options) (*System, error) {
+	city, err := roadnet.GenerateCity(roadnet.DefaultCityConfig(opts.CityRows, opts.CityCols, opts.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("xar: city generation: %w", err)
+	}
+	dcfg := discretize.DefaultConfig()
+	if opts.GridCellSize > 0 {
+		dcfg.GridCellSize = opts.GridCellSize
+	}
+	if opts.LandmarkMinSep > 0 {
+		dcfg.LandmarkMinSep = opts.LandmarkMinSep
+	}
+	dcfg.MaxLandmarks = opts.MaxLandmarks
+	if opts.Delta > 0 {
+		dcfg.Delta = opts.Delta
+	}
+	if opts.MaxDriveToLandmark > 0 {
+		dcfg.MaxDriveToLandmark = opts.MaxDriveToLandmark
+	}
+	if opts.MaxWalk > 0 {
+		dcfg.MaxWalk = opts.MaxWalk
+	}
+	disc, err := discretize.Build(city, dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("xar: discretization: %w", err)
+	}
+	ecfg := core.DefaultConfig()
+	if opts.DefaultDetourLimit > 0 {
+		ecfg.DefaultDetourLimit = opts.DefaultDetourLimit
+	}
+	if opts.DefaultSeats > 0 {
+		ecfg.DefaultSeats = opts.DefaultSeats
+	}
+	engine, err := core.NewEngine(disc, ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("xar: engine: %w", err)
+	}
+	return &System{city: city, disc: disc, engine: engine}, nil
+}
+
+// CreateRide registers a ride offer and returns its ID. This is one of
+// the two points in a ride's life-cycle where a shortest path runs.
+func (s *System) CreateRide(offer RideOffer) (RideID, error) {
+	return s.engine.CreateRide(offer)
+}
+
+// Search returns all feasible matches for the request, sorted by total
+// walking distance, without computing any shortest path.
+func (s *System) Search(req Request) ([]Match, error) {
+	return s.engine.Search(req)
+}
+
+// SearchK returns at most k matches (k <= 0 means all).
+func (s *System) SearchK(req Request, k int) ([]Match, error) {
+	return s.engine.SearchK(req, k)
+}
+
+// Book confirms a match, running at most four shortest paths.
+func (s *System) Book(m Match, req Request) (Booking, error) {
+	return s.engine.Book(m, req)
+}
+
+// Track advances a ride to the given time; it reports arrival.
+func (s *System) Track(id RideID, now float64) (bool, error) {
+	return s.engine.Track(id, now)
+}
+
+// TrackAll advances every ride, removing the completed ones.
+func (s *System) TrackAll(now float64) (int, error) {
+	return s.engine.TrackAll(now)
+}
+
+// CompleteRide removes a ride from the system.
+func (s *System) CompleteRide(id RideID) bool {
+	return s.engine.CompleteRide(id)
+}
+
+// NumRides returns the active fleet size.
+func (s *System) NumRides() int { return s.engine.NumRides() }
+
+// CancelBooking removes a confirmed booking (identified by its pickup
+// and drop-off nodes from the Booking), returning the seat and restoring
+// the detour budget.
+func (s *System) CancelBooking(id RideID, b Booking) error {
+	return s.engine.CancelBooking(id, b.PickupNode, b.DropoffNode)
+}
+
+// TrackGPS advances a ride from a GPS report; jittery reports never move
+// the vehicle backwards.
+func (s *System) TrackGPS(id RideID, report Point) (arrived bool, err error) {
+	return s.engine.TrackPosition(id, report)
+}
+
+// Metrics returns the engine's cumulative operation counters.
+func (s *System) Metrics() core.Metrics { return s.engine.Metrics() }
+
+// RouteGeoJSON renders a ride's route and via-points as GeoJSON.
+func (s *System) RouteGeoJSON(id RideID) ([]byte, error) {
+	return s.engine.RouteGeoJSON(id)
+}
+
+// Engine exposes the underlying run-time unit for advanced integrations
+// (HTTP serving, social ranking, batch search).
+func (s *System) Engine() *core.Engine { return s.engine }
+
+// Stats summarizes the deployment.
+type Stats struct {
+	Landmarks  int
+	Clusters   int
+	Epsilon    float64 // measured worst-case intra-cluster distance (≤ 4δ)
+	RoadNodes  int
+	RoadEdges  int
+	IndexBytes uint64 // deep size of the in-memory index
+}
+
+// Stats reports the deployment's discretization and memory footprint.
+func (s *System) Stats() Stats {
+	return Stats{
+		Landmarks:  len(s.disc.Landmarks),
+		Clusters:   s.disc.NumClusters(),
+		Epsilon:    s.disc.Epsilon(),
+		RoadNodes:  s.city.Graph.NumNodes(),
+		RoadEdges:  s.city.Graph.NumEdges(),
+		IndexBytes: memsize.Of(s.engine.Index()),
+	}
+}
+
+// RandomServablePoint returns a deterministic servable location derived
+// from the seed — a convenience for examples and tests.
+func (s *System) RandomServablePoint(seed int64) Point {
+	box := s.city.Graph.BBox()
+	// Simple SplitMix-style scramble for two coordinates.
+	x := uint64(seed)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	fLat := float64(x%10000) / 10000
+	x = x*0x94D049BB133111EB + 1
+	x ^= x >> 29
+	fLng := float64(x%10000) / 10000
+	p := Point{
+		Lat: box.MinLat + fLat*(box.MaxLat-box.MinLat),
+		Lng: box.MinLng + fLng*(box.MaxLng-box.MinLng),
+	}
+	if s.disc.Servable(p) {
+		return p
+	}
+	// Fall back to the nearest road node's location.
+	n, _ := s.city.SnapToNode(p)
+	return s.city.Graph.Point(n)
+}
