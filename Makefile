@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench-telemetry
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke: one fast pass over the headline benchmarks — enough to
+# catch perf regressions in CI without regenerating every figure.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig4aSearchXAR$$|BenchmarkFig4bCreateXAR$$|BenchmarkSearchTelemetry' -benchtime 100x .
+
+# bench-telemetry: the observability overhead comparison (off vs on)
+# backing the ≤5% search hot-path budget; see README "Observability".
+bench-telemetry:
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchTelemetry' -benchtime 3s -count 4 .

@@ -12,9 +12,11 @@ import (
 	"time"
 
 	"xar/internal/cluster"
+	"xar/internal/core"
 	"xar/internal/experiments"
 	"xar/internal/roadnet"
 	"xar/internal/sim"
+	"xar/internal/telemetry"
 	"xar/internal/workload"
 )
 
@@ -409,6 +411,37 @@ func BenchmarkAblationBookingFullReroute(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkSearchTelemetry quantifies the observability overhead on the
+// search hot path: the same loaded system with engine telemetry off
+// (nil registry — a single pointer check per op) and on (op + stage
+// histograms recorded per search). The acceptance budget is ≤5%.
+func BenchmarkSearchTelemetry(b *testing.B) {
+	w := world(b)
+	run := func(b *testing.B, reg *telemetry.Registry) {
+		ecfg := core.DefaultConfig()
+		ecfg.DefaultDetourLimit = w.Scale.DetourLimit
+		ecfg.Telemetry = reg
+		eng, err := core.NewEngine(w.Disc, ecfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := &sim.XARSystem{Engine: eng}
+		offers, requests := w.SplitOffersRequests()
+		for _, o := range offers {
+			_, _ = sys.Create(sim.Offer{
+				Source: o.Pickup, Dest: o.Dropoff,
+				Departure: o.RequestTime, Seats: 4, DetourLimit: w.Scale.DetourLimit,
+			})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = sys.Search(benchRequest(w, requests, i), 0)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, telemetry.NewRegistry()) })
 }
 
 // BenchmarkSearchThroughput measures sustained search QPS on a loaded

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"xar/internal/experiments"
+	"xar/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func main() {
 	requests := flag.Int("requests", 4000, "trip stream length")
 	eps := flag.Float64("eps", 1000, "epsilon in meters (paper: 1 km)")
 	seed := flag.Int64("seed", 42, "random seed")
+	prom := flag.String("prom", "", "after the run, dump the shared latency histograms in Prometheus text format to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -53,6 +55,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *prom != "" {
+		// The replays then record into the same histogram series a live
+		// xarserver exposes at /v1/metrics/prom — one telemetry source
+		// for figure reproduction and serving.
+		w.Telemetry = telemetry.NewRegistry()
+	}
 	log.Printf("world ready in %v: %d road nodes, %d landmarks, %d clusters (measured ε=%.0f m)",
 		time.Since(start).Round(time.Millisecond),
 		w.City.Graph.NumNodes(), len(w.Disc.Landmarks), w.Disc.NumClusters(), w.Disc.Epsilon())
@@ -64,6 +72,24 @@ func main() {
 	for _, f := range figs {
 		if err := run(w, strings.TrimSpace(f)); err != nil {
 			log.Fatalf("fig %s: %v", f, err)
+		}
+	}
+
+	if *prom != "" {
+		out := os.Stdout
+		if *prom != "-" {
+			f, err := os.Create(*prom)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := w.Telemetry.WritePrometheus(out); err != nil {
+			log.Fatal(err)
+		}
+		if *prom != "-" {
+			log.Printf("telemetry exposition written to %s", *prom)
 		}
 	}
 }

@@ -4,23 +4,34 @@
 //
 //	xarserver -addr :8080 -rows 40 -cols 22
 //	curl -s localhost:8080/v1/healthz
+//	curl -s localhost:8080/v1/metrics/prom     # Prometheus scrape
 //	curl -s -X POST localhost:8080/v1/search -d '{
 //	    "source": {"lat": 40.71, "lng": -74.01},
 //	    "dest":   {"lat": 40.73, "lng": -73.99},
 //	    "earliest_departure": 28800, "latest_departure": 30600,
 //	    "walk_limit_m": 800}'
+//
+// Observability (see README "Observability"):
+//
+//	-access-log        structured per-request log on stderr
+//	-slow-ms 250       warn-log engine operations slower than 250 ms
+//	-pprof             mount net/http/pprof under /debug/pprof/
 package main
 
 import (
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"time"
 
 	"xar/internal/core"
 	"xar/internal/discretize"
 	"xar/internal/roadnet"
 	"xar/internal/server"
+	"xar/internal/telemetry"
 )
 
 func main() {
@@ -33,7 +44,14 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	eps := flag.Float64("eps", 1000, "epsilon (= 4δ) in meters")
 	useALT := flag.Bool("alt", true, "accelerate shortest paths with ALT")
+	accessLog := flag.Bool("access-log", false, "emit a structured access-log record per request")
+	slowMS := flag.Float64("slow-ms", 250, "slow-operation log threshold in milliseconds (0 disables)")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (opt-in; exposes internals)")
 	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(reg)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	start := time.Now()
 	city, err := roadnet.GenerateCity(roadnet.DefaultCityConfig(*rows, *cols, *seed))
@@ -48,6 +66,9 @@ func main() {
 	}
 	ecfg := core.DefaultConfig()
 	ecfg.UseALTPaths = *useALT
+	ecfg.Telemetry = reg
+	ecfg.SlowOpThreshold = time.Duration(*slowMS * float64(time.Millisecond))
+	ecfg.SlowOpLogger = logger
 	eng, err := core.NewEngine(disc, ecfg)
 	if err != nil {
 		log.Fatal(err)
@@ -56,13 +77,33 @@ func main() {
 		time.Since(start).Round(time.Millisecond),
 		city.Graph.NumNodes(), len(disc.Landmarks), disc.NumClusters(), disc.Epsilon())
 
-	srv := server.New(eng, core.NewSocialGraph())
+	opts := []server.Option{server.WithTelemetry(reg)}
+	if *accessLog {
+		opts = append(opts, server.WithAccessLog(logger))
+	}
+	srv := server.New(eng, core.NewSocialGraph(), opts...)
+
+	handler := http.Handler(srv.Handler())
+	if *enablePprof {
+		// pprof rides on a wrapper mux so the API mux stays clean and the
+		// profiling surface is strictly opt-in.
+		root := http.NewServeMux()
+		root.Handle("/", srv.Handler())
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = root
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("serving on %s", *addr)
+	log.Printf("serving on %s (metrics: /v1/metrics/prom)", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

@@ -1,7 +1,9 @@
 // HTTP service: run the XAR platform as the JSON service a multi-modal
 // trip planner would integrate with (§IX), then drive it as a client —
 // create a ride, run a batch search (the MMTP's C(k+1,2) pattern), book
-// the best option and fetch the route as GeoJSON.
+// the best option and fetch the route as GeoJSON. The service runs with
+// the full observability stack on: structured access logs on stderr and
+// a Prometheus scrape printed at shutdown.
 //
 //	go run ./examples/http_service
 package main
@@ -10,21 +12,28 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"os"
+	"strings"
 	"time"
 
 	"xar/internal/core"
 	"xar/internal/discretize"
 	"xar/internal/roadnet"
 	"xar/internal/server"
+	"xar/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	// Stand the service up in-process on an ephemeral port.
+	// Stand the service up in-process on an ephemeral port, with
+	// telemetry shared between the engine and the HTTP layer and a
+	// structured access log so every request below is visible.
 	city, err := roadnet.GenerateCity(roadnet.DefaultCityConfig(30, 16, 11))
 	if err != nil {
 		log.Fatal(err)
@@ -33,7 +42,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := core.NewEngine(disc, core.DefaultConfig())
+	reg := telemetry.NewRegistry()
+	ecfg := core.DefaultConfig()
+	ecfg.Telemetry = reg
+	eng, err := core.NewEngine(disc, ecfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +53,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: server.New(eng, core.NewSocialGraph()).Handler()}
+	accessLog := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := &http.Server{Handler: server.New(eng, core.NewSocialGraph(),
+		server.WithTelemetry(reg), server.WithAccessLog(accessLog)).Handler()}
 	go func() { _ = srv.Serve(ln) }()
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
@@ -127,6 +141,25 @@ func main() {
 	mustGet(base+"/v1/metrics", &metrics)
 	fmt.Printf("\nservice metrics: %d searches, %d rides, %d bookings, %d shortest paths total\n",
 		metrics.Searches, metrics.RidesCreated, metrics.Bookings, metrics.ShortestPaths)
+
+	// Shutdown scrape: what a Prometheus server would have collected.
+	// Keep the xar_* series (op/stage/HTTP histograms); the full dump
+	// also carries go_* runtime gauges when enabled.
+	resp, err = http.Get(base + "/v1/metrics/prom")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prom, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfinal /v1/metrics/prom scrape (xar_* series):")
+	for _, line := range strings.Split(string(prom), "\n") {
+		if strings.Contains(line, "xar_") {
+			fmt.Println("  " + line)
+		}
+	}
 }
 
 func mustGet(url string, out interface{}) {

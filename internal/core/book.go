@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"xar/internal/index"
 	"xar/internal/roadnet"
@@ -22,6 +23,9 @@ import (
 func (e *Engine) Book(m Match, req Request) (Booking, error) {
 	if err := req.Validate(); err != nil {
 		return Booking{}, err
+	}
+	if e.tel != nil {
+		defer func(start time.Time) { e.tel.observeOp(opBook, time.Since(start)) }(time.Now())
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()

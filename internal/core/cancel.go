@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"xar/internal/index"
 	"xar/internal/roadnet"
@@ -16,6 +17,9 @@ import (
 // The booking is identified by its pickup and drop-off nodes, as returned
 // in the Booking struct.
 func (e *Engine) CancelBooking(id index.RideID, pickup, dropoff roadnet.NodeID) error {
+	if e.tel != nil {
+		defer func(start time.Time) { e.tel.observeOp(opCancel, time.Since(start)) }(time.Now())
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 

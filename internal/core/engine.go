@@ -13,12 +13,15 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"xar/internal/discretize"
 	"xar/internal/geo"
 	"xar/internal/index"
 	"xar/internal/roadnet"
+	"xar/internal/telemetry"
 )
 
 // Sentinel errors returned by the engine.
@@ -72,6 +75,25 @@ type Config struct {
 	// paper's "time of arrival is estimated from historical travel
 	// times" prescribes. Route geometry is unaffected.
 	UseCongestionProfile bool
+	// Telemetry, when non-nil, records per-operation latency histograms
+	// (xar_op_duration_seconds) and the per-stage search breakdown
+	// (xar_search_stage_duration_seconds) into the registry. Nil leaves
+	// the hot paths uninstrumented (one nil check per operation).
+	Telemetry *telemetry.Registry
+	// SearchSampleRate samples 1-in-N searches for full op + stage
+	// latency tracing (rounded up to a power of two). Searches are the
+	// sub-microsecond hot path, so timing every one would dominate its
+	// cost; unsampled searches pay a single atomic increment. 0 →
+	// DefaultSearchSampleRate; 1 → trace every search (tests,
+	// low-traffic deployments). Other operations are always recorded.
+	SearchSampleRate int
+	// SlowOpThreshold enables the slow-operation log: any engine
+	// operation taking at least this long is logged at Warn level.
+	// Zero disables the log.
+	SlowOpThreshold time.Duration
+	// SlowOpLogger receives slow-operation records; nil with a non-zero
+	// threshold falls back to slog.Default().
+	SlowOpLogger *slog.Logger
 }
 
 // DefaultConfig returns production defaults.
@@ -176,7 +198,8 @@ type Engine struct {
 	ix       *index.Index
 	searcher pathFinder // guarded by mu (write paths only)
 
-	m metrics
+	m   metrics
+	tel *engineTelemetry // nil → uninstrumented
 }
 
 // pathFinder is the slice of the routing layer the engine needs; both
@@ -208,12 +231,16 @@ func NewEngine(disc *discretize.Discretization, cfg Config) (*Engine, error) {
 		}
 		finder = alt.NewSearcher()
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		disc:     disc,
 		ix:       ix,
 		searcher: finder,
-	}, nil
+	}
+	if cfg.Telemetry != nil || cfg.SlowOpThreshold > 0 {
+		e.tel = newEngineTelemetry(cfg.Telemetry, cfg.SearchSampleRate, cfg.SlowOpThreshold, cfg.SlowOpLogger)
+	}
+	return e, nil
 }
 
 // Disc returns the engine's discretization.
@@ -251,6 +278,9 @@ func (e *Engine) CreateRide(offer RideOffer) (index.RideID, error) {
 	}
 	if detour < 0 {
 		return 0, fmt.Errorf("xar: negative detour limit %v", detour)
+	}
+	if e.tel != nil {
+		defer func(start time.Time) { e.tel.observeOp(opCreate, time.Since(start)) }(time.Now())
 	}
 
 	e.mu.Lock()
@@ -329,6 +359,9 @@ func (e *Engine) Ride(id index.RideID) *index.Ride {
 
 // CompleteRide removes a finished or cancelled ride from the system.
 func (e *Engine) CompleteRide(id index.RideID) bool {
+	if e.tel != nil {
+		defer func(start time.Time) { e.tel.observeOp(opComplete, time.Since(start)) }(time.Now())
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.ix.Remove(id) {

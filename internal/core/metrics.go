@@ -49,10 +49,28 @@ func (e *Engine) Metrics() Metrics {
 }
 
 // LookToBookRatio reports the observed searches-per-booking — the
-// quantity the paper's Figure 5b sweeps. Zero bookings yields 0.
+// quantity the paper's Figure 5b sweeps.
+//
+// The result is always finite and NaN-free: with zero bookings it
+// returns 0, even when searches have happened (a "pure browsing" phase
+// has no defined ratio yet; 0 keeps dashboards and the Figure 5b
+// harness division-safe). Once Bookings > 0 the exact quotient is
+// returned.
 func (m Metrics) LookToBookRatio() float64 {
 	if m.Bookings == 0 {
 		return 0
 	}
 	return float64(m.Searches) / float64(m.Bookings)
+}
+
+// MatchRate is the average number of matches returned per search —
+// SearchMatches/Searches, the engine-side quantity the Figure 5b
+// harness reuses alongside LookToBookRatio. Zero searches yields 0
+// (never NaN). Values above 1 mean searches return several options
+// each.
+func (m Metrics) MatchRate() float64 {
+	if m.Searches == 0 {
+		return 0
+	}
+	return float64(m.SearchMatches) / float64(m.Searches)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"xar/internal/geo"
 	"xar/internal/index"
@@ -28,11 +29,25 @@ func (e *Engine) Search(req Request) ([]Match, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	// Searches are sampled (Config.SearchSampleRate): a traced search
+	// records the op histogram plus the per-stage breakdown below. The
+	// sampling sequence rides on the metrics counter the search already
+	// increments, so an unsampled search pays only a mask test — the op
+	// timer therefore measures in-lock time (lock wait excluded; the
+	// HTTP middleware captures end-to-end latency for every request).
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	e.m.searches.Add(1)
-	out, err := e.searchLocked(req)
+	n := e.m.searches.Add(1)
+	traced := e.tel != nil && uint32(n)&e.tel.sampleMask == 0
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
+	out, err := e.searchLocked(req, traced)
 	e.m.searchMatches.Add(uint64(len(out)))
+	e.mu.RUnlock()
+	if traced {
+		e.tel.observeOp(opSearch, time.Since(start))
+	}
 	return out, err
 }
 
@@ -55,7 +70,18 @@ type sideCandidate struct {
 	walk    float64
 }
 
-func (e *Engine) searchLocked(req Request) ([]Match, error) {
+func (e *Engine) searchLocked(req Request, traced bool) ([]Match, error) {
+	// Stage clock: one time.Now() per stage boundary when this search is
+	// traced (plus two per candidate in the final loop); zero otherwise.
+	var tel *engineTelemetry
+	if traced {
+		tel = e.tel
+	}
+	var mark time.Time
+	if tel != nil {
+		mark = time.Now()
+	}
+
 	srcSide, err := e.walkableSide(req.Source, req.WalkLimit)
 	if err != nil {
 		return nil, err
@@ -63,6 +89,11 @@ func (e *Engine) searchLocked(req Request) ([]Match, error) {
 	dstSide, err := e.walkableSide(req.Dest, req.WalkLimit)
 	if err != nil {
 		return nil, err
+	}
+	if tel != nil {
+		now := time.Now()
+		tel.stages[stageSideLookup].ObserveDuration(now.Sub(mark))
+		mark = now
 	}
 
 	// Step 1: source-side candidates. For each ride remember the best
@@ -78,6 +109,9 @@ func (e *Engine) searchLocked(req Request) ([]Match, error) {
 		}
 	}
 	if len(r1) == 0 {
+		if tel != nil {
+			tel.stages[stageCandidate].ObserveDuration(time.Since(mark))
+		}
 		return nil, nil
 	}
 
@@ -97,9 +131,15 @@ func (e *Engine) searchLocked(req Request) ([]Match, error) {
 			}
 		}
 	}
+	if tel != nil {
+		now := time.Now()
+		tel.stages[stageCandidate].ObserveDuration(now.Sub(mark))
+		mark = now
+	}
 
 	// Final checks on the intersection.
 	var out []Match
+	var walkPairTime, detourTime time.Duration
 	for id, dst := range r2 {
 		src := r1[id]
 		r := e.ix.Ride(id)
@@ -114,12 +154,26 @@ func (e *Engine) searchLocked(req Request) ([]Match, error) {
 			// passes; try to find any feasible pair cheaply by scanning
 			// the (short, sorted) walkable lists again.
 			var ok bool
-			src, dst, ok = e.bestWalkPair(srcSide, dstSide, id, req)
+			if tel != nil {
+				t0 := time.Now()
+				src, dst, ok = e.bestWalkPair(srcSide, dstSide, id, req)
+				walkPairTime += time.Since(t0)
+			} else {
+				src, dst, ok = e.bestWalkPair(srcSide, dstSide, id, req)
+			}
 			if !ok {
 				continue
 			}
 		}
-		m, ok := e.checkDetourAndOrder(r, src.cluster, dst.cluster)
+		var m Match
+		var ok bool
+		if tel != nil {
+			t0 := time.Now()
+			m, ok = e.checkDetourAndOrder(r, src.cluster, dst.cluster)
+			detourTime += time.Since(t0)
+		} else {
+			m, ok = e.checkDetourAndOrder(r, src.cluster, dst.cluster)
+		}
 		if !ok {
 			continue
 		}
@@ -133,6 +187,15 @@ func (e *Engine) searchLocked(req Request) ([]Match, error) {
 		}
 		return out[i].Ride < out[j].Ride
 	})
+	if tel != nil {
+		tel.stages[stageFinalCheck].ObserveDuration(time.Since(mark))
+		if walkPairTime > 0 {
+			tel.stages[stageWalkPair].ObserveDuration(walkPairTime)
+		}
+		if detourTime > 0 {
+			tel.stages[stageDetourCheck].ObserveDuration(detourTime)
+		}
+	}
 	return out, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"xar/internal/geo"
 	"xar/internal/index"
@@ -170,6 +171,9 @@ func (e *Engine) SearchBatch(reqs []Request, k, parallelism int) (results [][]Ma
 // are ignored (GPS jitter must not move a ride backwards). It reports
 // arrival at the destination.
 func (e *Engine) TrackPosition(id index.RideID, report geo.Point) (arrived bool, err error) {
+	if e.tel != nil {
+		defer func(start time.Time) { e.tel.observeOp(opTrack, time.Since(start)) }(time.Now())
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"log/slog"
+	"time"
+
+	"xar/internal/telemetry"
+)
+
+// Operation names used in op latency histograms and the slow-op log.
+const (
+	opSearch   = "search"
+	opCreate   = "create"
+	opBook     = "book"
+	opCancel   = "cancel"
+	opTrack    = "track"
+	opComplete = "complete"
+)
+
+// Search stage names (§VII decomposition; see DESIGN.md §Observability).
+const (
+	stageSideLookup   = "side_lookup"   // walkableSide on both endpoints
+	stageCandidate    = "candidate_scan" // steps 1+2: potential-ride pulls + intersection
+	stageFinalCheck   = "final_check"   // whole per-ride validation loop + sort
+	stageWalkPair     = "walk_pair"     // bestWalkPair time summed over the search
+	stageDetourCheck  = "detour_check"  // checkDetourAndOrder time summed over the search
+)
+
+// DefaultSearchSampleRate is the default 1-in-N sampling rate for search
+// latency tracing. Searches are sub-microsecond on a warm index, so
+// timing every one (≈9 clock reads for the stage breakdown) would cost
+// tens of percent; sampling keeps the hot-path overhead under 5% while
+// the histograms still converge on the true distribution. All other
+// engine operations (create/book/cancel/track/complete) run at µs–ms
+// scale and are always recorded.
+const DefaultSearchSampleRate = 32
+
+// engineTelemetry bundles the engine's instruments. A nil
+// *engineTelemetry disables instrumentation entirely: the hot paths
+// guard every time.Now() behind a nil check, so a telemetry-free engine
+// pays one predictable branch per operation.
+type engineTelemetry struct {
+	ops    map[string]*telemetry.Histogram
+	stages map[string]*telemetry.Histogram
+
+	// Search sampling: a search is fully timed iff its sequence number
+	// (the engine's own searches counter) & sampleMask == 0, so an
+	// unsampled search pays one mask test and a branch.
+	sampleMask uint32
+
+	slowThresh time.Duration
+	slowLog    *slog.Logger
+}
+
+// newEngineTelemetry builds the instrument set. reg may be nil when only
+// slow-op logging is wanted; histograms then record into a private,
+// unexposed registry (cost is identical, output is simply not scraped).
+// sampleRate is the 1-in-N search sampling rate, rounded up to a power
+// of two; 0 means DefaultSearchSampleRate, 1 times every search.
+func newEngineTelemetry(reg *telemetry.Registry, sampleRate int, slowThresh time.Duration, slowLog *slog.Logger) *engineTelemetry {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	if sampleRate <= 0 {
+		sampleRate = DefaultSearchSampleRate
+	}
+	mask := uint32(1)
+	for int(mask) < sampleRate {
+		mask <<= 1
+	}
+	t := &engineTelemetry{
+		ops:        make(map[string]*telemetry.Histogram, 6),
+		stages:     make(map[string]*telemetry.Histogram, 5),
+		sampleMask: mask - 1,
+		slowThresh: slowThresh,
+		slowLog:    slowLog,
+	}
+	for _, op := range []string{opSearch, opCreate, opBook, opCancel, opTrack, opComplete} {
+		t.ops[op] = telemetry.OpDuration(reg, op)
+	}
+	for _, st := range []string{stageSideLookup, stageCandidate, stageFinalCheck, stageWalkPair, stageDetourCheck} {
+		t.stages[st] = telemetry.SearchStage(reg, st)
+	}
+	if slowThresh > 0 && t.slowLog == nil {
+		t.slowLog = slog.Default()
+	}
+	return t
+}
+
+// observeOp records one whole-operation duration and emits the slow-op
+// log line when the configured threshold is crossed.
+func (t *engineTelemetry) observeOp(op string, d time.Duration) {
+	t.ops[op].ObserveDuration(d)
+	if t.slowThresh > 0 && d >= t.slowThresh && t.slowLog != nil {
+		t.slowLog.Warn("slow engine operation",
+			"op", op,
+			"duration_ms", float64(d)/float64(time.Millisecond),
+			"threshold_ms", float64(t.slowThresh)/float64(time.Millisecond))
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"xar/internal/index"
 )
 
@@ -11,6 +13,9 @@ import (
 //
 // It returns true when the ride has arrived at its destination.
 func (e *Engine) Track(id index.RideID, now float64) (arrived bool, err error) {
+	if e.tel != nil {
+		defer func(start time.Time) { e.tel.observeOp(opTrack, time.Since(start)) }(time.Now())
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 

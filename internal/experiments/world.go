@@ -12,6 +12,7 @@ import (
 	"xar/internal/discretize"
 	"xar/internal/mmtp"
 	"xar/internal/roadnet"
+	"xar/internal/telemetry"
 	"xar/internal/transit"
 	"xar/internal/tshare"
 	"xar/internal/workload"
@@ -56,6 +57,10 @@ type World struct {
 	City  *roadnet.City
 	Disc  *discretize.Discretization
 	Trips []workload.Trip
+	// Telemetry, when non-nil, is handed to the sim replays so the
+	// figure harness records into the same latency histograms a live
+	// xarserver exposes (cmd/xarbench -prom wires this).
+	Telemetry *telemetry.Registry
 }
 
 // BuildWorld generates the city, discretization (ε = Scale.Epsilon) and
@@ -94,10 +99,17 @@ func maxTripDist(city *roadnet.City) float64 {
 	return d * 0.9
 }
 
-// NewXAREngine builds a fresh XAR engine over the world.
+// NewXAREngine builds a fresh XAR engine over the world. When the world
+// carries a telemetry registry the engine records into it directly —
+// ops and the per-stage search breakdown, unsampled (rate 1) so the
+// figure replays trace every search.
 func (w *World) NewXAREngine() (*core.Engine, error) {
 	cfg := core.DefaultConfig()
 	cfg.DefaultDetourLimit = w.Scale.DetourLimit
+	if w.Telemetry != nil {
+		cfg.Telemetry = w.Telemetry
+		cfg.SearchSampleRate = 1
+	}
 	return core.NewEngine(w.Disc, cfg)
 }
 

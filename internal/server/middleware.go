@@ -1,0 +1,111 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"xar/internal/telemetry"
+)
+
+// HTTP metric names exposed by the serving layer.
+const (
+	httpRequestsName  = "xar_http_requests_total"
+	httpDurationName  = "xar_http_request_duration_seconds"
+	httpInflightName  = "xar_http_inflight_requests"
+	httpRespBytesName = "xar_http_response_bytes_total"
+)
+
+// routeInstruments is the pre-built instrument set of one route: the
+// middleware does zero registry lookups per request.
+type routeInstruments struct {
+	duration *telemetry.Histogram
+	byClass  [4]*telemetry.Counter // 2xx, 3xx, 4xx, 5xx
+	bytes    *telemetry.Counter
+}
+
+func (s *Server) newRouteInstruments(route string) *routeInstruments {
+	ri := &routeInstruments{
+		duration: s.reg.Histogram(httpDurationName,
+			"HTTP request latency by route.",
+			telemetry.DurationBuckets(), telemetry.L("route", route)),
+		bytes: s.reg.Counter(httpRespBytesName,
+			"Response body bytes written by route.", telemetry.L("route", route)),
+	}
+	for i, class := range []string{"2xx", "3xx", "4xx", "5xx"} {
+		ri.byClass[i] = s.reg.Counter(httpRequestsName,
+			"HTTP requests by route and status class.",
+			telemetry.L("route", route, "code", class))
+	}
+	return ri
+}
+
+// statusWriter captures the response status and size. WriteHeader-less
+// handlers default to 200, matching net/http.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with the serving-side telemetry: in-flight
+// gauge, per-route latency histogram, status-class counters, response
+// bytes, and the optional structured access log.
+func (s *Server) instrument(route string, next http.HandlerFunc) http.Handler {
+	ri := s.newRouteInstruments(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next(sw, r)
+		d := time.Since(start)
+		s.inflight.Add(-1)
+
+		ri.duration.ObserveDuration(d)
+		if class := sw.status/100 - 2; class >= 0 && class < len(ri.byClass) {
+			ri.byClass[class].Inc()
+		}
+		ri.bytes.Add(uint64(sw.bytes))
+
+		if s.accessLog != nil {
+			s.accessLog.LogAttrs(r.Context(), slog.LevelInfo, "http",
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Float64("duration_ms", float64(d)/float64(time.Millisecond)),
+				slog.Int("bytes", sw.bytes),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}
+
+// handleMetricsProm serves the whole registry in Prometheus text
+// exposition format — engine op/stage histograms, HTTP serving metrics
+// and any runtime gauges wired by the binary.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleMetricsJSON serves the same registry as JSON, with approximate
+// p50/p95/p99 per histogram for humans and dashboards without a
+// Prometheus server.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = s.reg.WriteJSON(w)
+}

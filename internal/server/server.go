@@ -15,20 +15,29 @@
 //	DELETE /v1/bookings         cancel a booking
 //	POST   /v1/track            advance a ride (by time or GPS report)
 //	GET    /v1/metrics          engine counters
-//	GET    /v1/healthz          liveness + deployment stats
+//	GET    /v1/metrics/prom     full telemetry, Prometheus text format
+//	GET    /v1/metrics/json     full telemetry, JSON with percentiles
+//	GET    /v1/healthz          liveness + uptime + engine counters
+//
+// Every route is wrapped in telemetry middleware: per-route request and
+// status-class counters, latency histograms, an in-flight gauge and an
+// optional structured access log (see middleware.go).
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"time"
 
 	"xar/internal/core"
 	"xar/internal/geo"
 	"xar/internal/index"
 	"xar/internal/roadnet"
+	"xar/internal/telemetry"
 )
 
 // Server wires an engine (and optionally a social graph) to an
@@ -37,24 +46,64 @@ type Server struct {
 	eng    *core.Engine
 	social *core.SocialGraph
 	mux    *http.ServeMux
+
+	reg       *telemetry.Registry
+	accessLog *slog.Logger
+	inflight  *telemetry.Gauge
+	started   time.Time
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithTelemetry records serving metrics into reg instead of a private
+// registry. Pass the same registry the engine was configured with so
+// /v1/metrics/prom exposes engine, search-stage and HTTP series
+// together.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithAccessLog emits one structured record per request to l.
+func WithAccessLog(l *slog.Logger) Option {
+	return func(s *Server) { s.accessLog = l }
 }
 
 // New builds a server. social may be nil (no social ranking).
-func New(eng *core.Engine, social *core.SocialGraph) *Server {
-	s := &Server{eng: eng, social: social, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/rides", s.handleCreateRide)
-	s.mux.HandleFunc("GET /v1/rides/{id}", s.handleGetRide)
-	s.mux.HandleFunc("GET /v1/rides/{id}/route", s.handleRideRoute)
-	s.mux.HandleFunc("DELETE /v1/rides/{id}", s.handleDeleteRide)
-	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
-	s.mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
-	s.mux.HandleFunc("POST /v1/bookings", s.handleBook)
-	s.mux.HandleFunc("DELETE /v1/bookings", s.handleCancel)
-	s.mux.HandleFunc("POST /v1/track", s.handleTrack)
-	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+func New(eng *core.Engine, social *core.SocialGraph, opts ...Option) *Server {
+	s := &Server{eng: eng, social: social, mux: http.NewServeMux(), started: time.Now()}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		// /v1/metrics/prom must always work; without an injected registry
+		// it serves the HTTP-layer series only.
+		s.reg = telemetry.NewRegistry()
+	}
+	s.inflight = s.reg.Gauge(httpInflightName, "Requests currently being served.", nil)
+
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		s.mux.Handle(pattern, s.instrument(route, h))
+	}
+	handle("POST /v1/rides", "/v1/rides", s.handleCreateRide)
+	handle("GET /v1/rides/{id}", "/v1/rides/{id}", s.handleGetRide)
+	handle("GET /v1/rides/{id}/route", "/v1/rides/{id}/route", s.handleRideRoute)
+	handle("DELETE /v1/rides/{id}", "/v1/rides/{id}", s.handleDeleteRide)
+	handle("POST /v1/search", "/v1/search", s.handleSearch)
+	handle("POST /v1/search/batch", "/v1/search/batch", s.handleSearchBatch)
+	handle("POST /v1/bookings", "/v1/bookings", s.handleBook)
+	handle("DELETE /v1/bookings", "/v1/bookings", s.handleCancel)
+	handle("POST /v1/track", "/v1/track", s.handleTrack)
+	handle("GET /v1/metrics", "/v1/metrics", s.handleMetrics)
+	handle("GET /v1/metrics/prom", "/v1/metrics/prom", s.handleMetricsProm)
+	handle("GET /v1/metrics/json", "/v1/metrics/json", s.handleMetricsJSON)
+	handle("GET /v1/healthz", "/v1/healthz", s.handleHealth)
 	return s
 }
+
+// Registry returns the server's telemetry registry (the injected one,
+// or the private default).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // Handler returns the routable handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -423,23 +472,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.eng.Metrics())
 }
 
-// HealthResponse is the GET /v1/healthz body.
+// HealthResponse is the GET /v1/healthz body. Beyond the static
+// discretization facts it carries uptime and the cumulative engine
+// counters, so a load balancer (or a human) can tell a wedged engine —
+// uptime climbing, counters frozen — from an idle one.
 type HealthResponse struct {
-	Status      string  `json:"status"`
-	ActiveRides int     `json:"active_rides"`
-	Clusters    int     `json:"clusters"`
-	Landmarks   int     `json:"landmarks"`
-	EpsilonM    float64 `json:"epsilon_m"`
+	Status        string       `json:"status"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	ActiveRides   int          `json:"active_rides"`
+	Clusters      int          `json:"clusters"`
+	Landmarks     int          `json:"landmarks"`
+	EpsilonM      float64      `json:"epsilon_m"`
+	Engine        core.Metrics `json:"engine"`
+	LookToBook    float64      `json:"look_to_book"`
+	MatchRate     float64      `json:"match_rate"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	d := s.eng.Disc()
+	m := s.eng.Metrics()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:      "ok",
-		ActiveRides: s.eng.NumRides(),
-		Clusters:    d.NumClusters(),
-		Landmarks:   len(d.Landmarks),
-		EpsilonM:    d.Epsilon(),
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		ActiveRides:   s.eng.NumRides(),
+		Clusters:      d.NumClusters(),
+		Landmarks:     len(d.Landmarks),
+		EpsilonM:      d.Epsilon(),
+		Engine:        m,
+		LookToBook:    m.LookToBookRatio(),
+		MatchRate:     m.MatchRate(),
 	})
 }
 

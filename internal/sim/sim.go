@@ -13,6 +13,7 @@ import (
 
 	"xar/internal/geo"
 	"xar/internal/stats"
+	"xar/internal/telemetry"
 	"xar/internal/workload"
 )
 
@@ -75,6 +76,13 @@ type Config struct {
 	// LookToBook performs this many searches per request before acting
 	// (≥1); the paper's Figure 5b sweeps it.
 	LookToBook int
+	// Telemetry, when non-nil, records the replay's search/create/book
+	// durations into the same xar_op_duration_seconds histograms the
+	// live engine uses (see telemetry.OpDuration), so figure
+	// reproduction and production serving report from one telemetry
+	// source. Leave the engine itself uninstrumented when setting this,
+	// or operations are counted twice.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the paper's simulation settings.
@@ -122,6 +130,13 @@ func Run(sys System, trips []workload.Trip, cfg Config) (*Result, error) {
 	if cfg.LookToBook < 1 {
 		cfg.LookToBook = 1
 	}
+	// Optional shared histograms alongside the in-memory Samples.
+	var hSearch, hCreate, hBook *telemetry.Histogram
+	if cfg.Telemetry != nil {
+		hSearch = telemetry.OpDuration(cfg.Telemetry, "search")
+		hCreate = telemetry.OpDuration(cfg.Telemetry, "create")
+		hBook = telemetry.OpDuration(cfg.Telemetry, "book")
+	}
 	res := &Result{SystemName: sys.Name()}
 	lastTrack := -1.0
 	for _, trip := range trips {
@@ -147,7 +162,11 @@ func Run(sys System, trips []workload.Trip, cfg Config) (*Result, error) {
 		for look := 0; look < cfg.LookToBook; look++ {
 			start := time.Now()
 			cands, serr = sys.Search(req, cfg.K)
-			res.SearchTimes.AddDuration(time.Since(start))
+			d := time.Since(start)
+			res.SearchTimes.AddDuration(d)
+			if hSearch != nil {
+				hSearch.ObserveDuration(d)
+			}
 		}
 		if serr != nil {
 			if isNotServable(serr) {
@@ -162,7 +181,11 @@ func Run(sys System, trips []workload.Trip, cfg Config) (*Result, error) {
 		for _, c := range cands { // least-walk first (systems sort)
 			start := time.Now()
 			br, berr := sys.Book(c, req)
-			res.BookTimes.AddDuration(time.Since(start))
+			d := time.Since(start)
+			res.BookTimes.AddDuration(d)
+			if hBook != nil {
+				hBook.ObserveDuration(d)
+			}
 			if berr != nil {
 				res.FailedBooks++
 				continue
@@ -187,7 +210,11 @@ func Run(sys System, trips []workload.Trip, cfg Config) (*Result, error) {
 		}
 		start := time.Now()
 		_, cerr := sys.Create(offer)
-		res.CreateTimes.AddDuration(time.Since(start))
+		d := time.Since(start)
+		res.CreateTimes.AddDuration(d)
+		if hCreate != nil {
+			hCreate.ObserveDuration(d)
+		}
 		if cerr != nil {
 			if isNotServable(cerr) {
 				res.NotServable++

@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterRuntimeMetrics wires Go runtime health gauges into the
+// registry: goroutine count, heap usage, GC activity. All memstats
+// gauges are refreshed by a single runtime.ReadMemStats per scrape (via
+// OnScrape) rather than one stop-the-world read per gauge.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+
+	heapAlloc := r.Gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", nil)
+	heapObjects := r.Gauge("go_memstats_heap_objects", "Number of allocated heap objects.", nil)
+	sys := r.Gauge("go_memstats_sys_bytes", "Total bytes obtained from the OS.", nil)
+	numGC := r.Gauge("go_gc_cycles_total", "Completed GC cycles.", nil)
+	pauseTotal := r.Gauge("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", nil)
+	lastPause := r.Gauge("go_gc_last_pause_seconds", "Duration of the most recent GC pause.", nil)
+
+	r.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapObjects.Set(float64(ms.HeapObjects))
+		sys.Set(float64(ms.Sys))
+		numGC.Set(float64(ms.NumGC))
+		pauseTotal.Set(time.Duration(ms.PauseTotalNs).Seconds())
+		if ms.NumGC > 0 {
+			lastPause.Set(time.Duration(ms.PauseNs[(ms.NumGC+255)%256]).Seconds())
+		}
+	})
+}
