@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-telemetry
+.PHONY: all build vet test race bench-smoke bench-telemetry bench-parallel-smoke
 
 all: build vet test
 
@@ -25,3 +25,10 @@ bench-smoke:
 # backing the ≤5% search hot-path budget; see README "Observability".
 bench-telemetry:
 	$(GO) test -run '^$$' -bench 'BenchmarkSearchTelemetry' -benchtime 3s -count 4 .
+
+# bench-parallel-smoke: one iteration of each concurrent-engine
+# benchmark at every GOMAXPROCS step — verifies the parallel paths run,
+# not their throughput (use `go test -bench Parallel -benchtime 1s .`
+# for real numbers; BENCH_parallel.json records a measured curve).
+bench-parallel-smoke:
+	$(GO) test -run '^$$' -bench 'Parallel' -benchtime 1x .

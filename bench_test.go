@@ -6,8 +6,11 @@
 package xar
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -459,5 +462,102 @@ func BenchmarkSearchThroughput(b *testing.B) {
 	if b.N > 0 {
 		qps := float64(b.N) / time.Since(start).Seconds()
 		b.ReportMetric(qps, "searches/s")
+	}
+}
+
+// seededConcurrentXAR builds an XAR system with the concurrent engine
+// configuration — a striped ride index (16 shards) — preloaded with the
+// world's offers. The parallel benchmarks measure THIS configuration:
+// its single-threaded throughput already includes the per-shard visit
+// cost of the striped search, so the procs1 row is the honest baseline
+// the scaling curve divides by.
+func seededConcurrentXAR(b *testing.B, w *experiments.World) (*sim.XARSystem, []workload.Trip) {
+	b.Helper()
+	cfg := core.DefaultConfig()
+	cfg.DefaultDetourLimit = w.Scale.DetourLimit
+	cfg.IndexShards = 16
+	eng, err := core.NewEngine(w.Disc, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := &sim.XARSystem{Engine: eng}
+	offers, requests := w.SplitOffersRequests()
+	for _, o := range offers {
+		_, _ = sys.Create(sim.Offer{
+			Source: o.Pickup, Dest: o.Dropoff,
+			Departure: o.RequestTime, Seats: 4, DetourLimit: w.Scale.DetourLimit,
+		})
+	}
+	return sys, requests
+}
+
+// BenchmarkSearchThroughputParallel drives concurrent searches against
+// the striped engine with b.RunParallel at GOMAXPROCS ∈ {1, 4, 8}. On
+// multi-core hardware the searches/s metric should scale near-linearly
+// with procs (reads take only brief per-shard RLocks); the measured
+// curve is recorded in BENCH_parallel.json.
+func BenchmarkSearchThroughputParallel(b *testing.B) {
+	w := world(b)
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("procs%d", procs), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			sys, requests := seededConcurrentXAR(b, w)
+			var ctr atomic.Int64
+			start := time.Now()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(ctr.Add(1))
+					_, _ = sys.Search(benchRequest(w, requests, i), 0)
+				}
+			})
+			b.StopTimer()
+			if b.N > 0 {
+				qps := float64(b.N) / time.Since(start).Seconds()
+				b.ReportMetric(qps, "searches/s")
+			}
+		})
+	}
+}
+
+// BenchmarkMixedWorkloadParallel is the contention benchmark: concurrent
+// goroutines issue a mixed stream — 1 create per 16 operations, a
+// booking attempt after 1 in 8 successful searches, searches otherwise —
+// so shard write locks, the optimistic book-commit path and pooled
+// path-searchers are all exercised together under b.RunParallel.
+func BenchmarkMixedWorkloadParallel(b *testing.B) {
+	w := world(b)
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("procs%d", procs), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			sys, requests := seededConcurrentXAR(b, w)
+			offers, _ := w.SplitOffersRequests()
+			var ctr atomic.Int64
+			start := time.Now()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(ctr.Add(1))
+					if i%16 == 0 {
+						o := offers[i%len(offers)]
+						_, _ = sys.Create(sim.Offer{
+							Source: o.Pickup, Dest: o.Dropoff,
+							Departure: o.RequestTime, Seats: 4, DetourLimit: w.Scale.DetourLimit,
+						})
+						continue
+					}
+					req := benchRequest(w, requests, i)
+					cs, err := sys.Search(req, 0)
+					if err == nil && len(cs) > 0 && i%8 == 0 {
+						_, _ = sys.Book(cs[0], req)
+					}
+				}
+			})
+			b.StopTimer()
+			if b.N > 0 {
+				qps := float64(b.N) / time.Since(start).Seconds()
+				b.ReportMetric(qps, "ops/s")
+			}
+		})
 	}
 }

@@ -14,17 +14,30 @@
 //
 // Scale flags (-rows, -cols, -requests, -eps, -seed) trade fidelity for
 // runtime; the defaults complete in a few minutes.
+//
+// -parallel N switches to the concurrent-engine throughput mode instead
+// of figure replays: N goroutines drive a mixed create/search/book
+// workload against a 16-shard engine and the run reports QPS plus
+// p50/p95/p99 latency per operation from the telemetry histograms (the
+// same series /v1/metrics/prom exposes). Combine with GOMAXPROCS to
+// sweep the scaling curve recorded in BENCH_parallel.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"xar/internal/core"
 	"xar/internal/experiments"
+	"xar/internal/sim"
 	"xar/internal/telemetry"
 )
 
@@ -39,6 +52,8 @@ func main() {
 	eps := flag.Float64("eps", 1000, "epsilon in meters (paper: 1 km)")
 	seed := flag.Int64("seed", 42, "random seed")
 	prom := flag.String("prom", "", "after the run, dump the shared latency histograms in Prometheus text format to this file (\"-\" = stdout)")
+	parallel := flag.Int("parallel", 0, "run the concurrent mixed create/search/book workload with this many goroutines instead of figure replays (0 = off)")
+	parallelOps := flag.Int("parallel-ops", 0, "total operations for -parallel (0 → 20× -requests)")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -65,6 +80,25 @@ func main() {
 		time.Since(start).Round(time.Millisecond),
 		w.City.Graph.NumNodes(), len(w.Disc.Landmarks), w.Disc.NumClusters(), w.Disc.Epsilon())
 
+	if *parallel > 0 {
+		ops := *parallelOps
+		if ops <= 0 {
+			ops = 20 * scale.Requests
+		}
+		if w.Telemetry == nil {
+			w.Telemetry = telemetry.NewRegistry()
+		}
+		if err := runParallel(w, *parallel, ops); err != nil {
+			log.Fatal(err)
+		}
+		if *prom != "" {
+			if err := dumpProm(w.Telemetry, *prom); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
 		figs = []string{"3a", "3b", "3cd", "4", "5a", "5b", "6", "ablations"}
@@ -76,22 +110,150 @@ func main() {
 	}
 
 	if *prom != "" {
-		out := os.Stdout
-		if *prom != "-" {
-			f, err := os.Create(*prom)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer f.Close()
-			out = f
-		}
-		if err := w.Telemetry.WritePrometheus(out); err != nil {
+		if err := dumpProm(w.Telemetry, *prom); err != nil {
 			log.Fatal(err)
 		}
-		if *prom != "-" {
-			log.Printf("telemetry exposition written to %s", *prom)
+	}
+}
+
+// dumpProm writes the registry in Prometheus text format to path
+// ("-" = stdout).
+func dumpProm(reg *telemetry.Registry, path string) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := reg.WritePrometheus(out); err != nil {
+		return err
+	}
+	if path != "-" {
+		log.Printf("telemetry exposition written to %s", path)
+	}
+	return nil
+}
+
+// runParallel is the standalone form of BenchmarkMixedWorkloadParallel:
+// `workers` goroutines drive a mixed stream — 1 create per 16
+// operations, a booking attempt after 1 in 8 successful searches,
+// searches otherwise — against a 16-shard engine preloaded with the
+// world's offers. Throughput comes from wall time; latency quantiles
+// come from the xar_op_duration_seconds telemetry histograms the engine
+// records into (the same series xarserver exposes at /v1/metrics/prom).
+func runParallel(w *experiments.World, workers, ops int) error {
+	const shards = 16
+	cfg := core.DefaultConfig()
+	cfg.DefaultDetourLimit = w.Scale.DetourLimit
+	cfg.IndexShards = shards
+	cfg.Telemetry = w.Telemetry
+	eng, err := core.NewEngine(w.Disc, cfg)
+	if err != nil {
+		return err
+	}
+	sys := &sim.XARSystem{Engine: eng}
+	offers, requests := w.SplitOffersRequests()
+	for _, o := range offers {
+		_, _ = sys.Create(sim.Offer{
+			Source: o.Pickup, Dest: o.Dropoff,
+			Departure: o.RequestTime, Seats: 4, DetourLimit: w.Scale.DetourLimit,
+		})
+	}
+	log.Printf("parallel mode: %d goroutines, %d ops, GOMAXPROCS=%d, %d index shards, %d seeded rides",
+		workers, ops, runtime.GOMAXPROCS(0), shards, eng.NumRides())
+
+	var next, searches, matched, creates, bookings atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i > ops {
+					return
+				}
+				if i%16 == 0 {
+					o := offers[i%len(offers)]
+					_, _ = sys.Create(sim.Offer{
+						Source: o.Pickup, Dest: o.Dropoff,
+						Departure: o.RequestTime, Seats: 4, DetourLimit: w.Scale.DetourLimit,
+					})
+					creates.Add(1)
+					continue
+				}
+				t := requests[i%len(requests)]
+				req := sim.Request{
+					Source: t.Pickup, Dest: t.Dropoff,
+					Earliest: t.RequestTime, Latest: t.RequestTime + w.Scale.WindowSlack,
+					WalkLimit: w.Scale.WalkLimit,
+				}
+				cs, err := sys.Search(req, 0)
+				searches.Add(1)
+				if err != nil || len(cs) == 0 {
+					continue
+				}
+				matched.Add(1)
+				if i%8 == 0 {
+					if _, err := sys.Book(cs[0], req); err == nil {
+						bookings.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	type quantiles struct {
+		P50 float64 `json:"p50"`
+		P95 float64 `json:"p95"`
+		P99 float64 `json:"p99"`
+	}
+	res := struct {
+		Workers     int                  `json:"workers"`
+		Gomaxprocs  int                  `json:"gomaxprocs"`
+		IndexShards int                  `json:"index_shards"`
+		Ops         int64                `json:"ops"`
+		WallSeconds float64              `json:"wall_seconds"`
+		QPS         float64              `json:"qps"`
+		Searches    int64                `json:"searches"`
+		Matched     int64                `json:"searches_with_matches"`
+		Creates     int64                `json:"creates"`
+		Bookings    int64                `json:"bookings"`
+		Latency     map[string]quantiles `json:"latency_seconds"`
+	}{
+		Workers:     workers,
+		Gomaxprocs:  runtime.GOMAXPROCS(0),
+		IndexShards: shards,
+		Ops:         next.Load() - int64(workers), // each goroutine overshoots by one
+		WallSeconds: wall.Seconds(),
+		Searches:    searches.Load(),
+		Matched:     matched.Load(),
+		Creates:     creates.Load(),
+		Bookings:    bookings.Load(),
+		Latency:     map[string]quantiles{},
+	}
+	if res.Ops > int64(ops) {
+		res.Ops = int64(ops)
+	}
+	res.QPS = float64(res.Ops) / wall.Seconds()
+	for _, op := range []string{"search", "create", "book"} {
+		h := telemetry.OpDuration(w.Telemetry, op)
+		if h.Count() == 0 {
+			continue // empty histogram: quantiles are undefined
+		}
+		res.Latency[op] = quantiles{
+			P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
 		}
 	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
 }
 
 func run(w *experiments.World, fig string) error {

@@ -8,6 +8,13 @@ import (
 	"xar/internal/roadnet"
 )
 
+// bookMaxAttempts bounds the optimistic-commit retry loop. Conflicts
+// need a concurrent mutation of the same ride between a booking's
+// snapshot and its commit; even under heavy contention most retries
+// succeed on the second attempt, so a small bound suffices — beyond it
+// the match is genuinely contended and reported no-longer-feasible.
+const bookMaxAttempts = 4
+
 // Book confirms a match (§VIII-B). It re-validates the match against the
 // ride's current state (the ride may have moved or accepted other
 // bookings since the search), chooses the concrete pickup and drop-off
@@ -20,6 +27,16 @@ import (
 // the additive 4ε bound; unless Config.StrictDetour is set, the booking
 // is allowed to overshoot the remaining budget by at most 4ε, matching
 // the paper's guarantee.
+//
+// Concurrency: booking is optimistic. The expensive splice (up to four
+// shortest paths) runs outside any lock against a snapshot of the ride
+// taken under the shard's read lock; the commit then re-checks, under
+// the shard's write lock, that the ride's revision counter is unchanged
+// before applying the new route. A concurrent booking/cancel/advance on
+// the same ride bumps the revision and forces a retry (counted in
+// Metrics.BookConflictRetries and xar_book_conflict_retries_total);
+// rides on other shards — and searches everywhere — are never blocked by
+// the splice.
 func (e *Engine) Book(m Match, req Request) (Booking, error) {
 	if err := req.Validate(); err != nil {
 		return Booking{}, err
@@ -27,29 +44,23 @@ func (e *Engine) Book(m Match, req Request) (Booking, error) {
 	if e.tel != nil {
 		defer func(start time.Time) { e.tel.observeOp(opBook, time.Since(start)) }(time.Now())
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 
-	r := e.ix.Ride(m.Ride)
-	if r == nil {
+	// Reject unknown rides before anything else (kept first so the error
+	// does not depend on where the match's clusters lie). The existence
+	// check is racy by design — tryBook re-validates under the lock.
+	sh := e.ix.ShardFor(m.Ride)
+	sh.RLock()
+	known := sh.Ix.Ride(m.Ride) != nil
+	sh.RUnlock()
+	if !known {
 		e.m.bookingsFailed.Add(1)
 		return Booking{}, ErrUnknownRide
 	}
-	if r.SeatsAvail <= 0 {
-		e.m.bookingsFailed.Add(1)
-		return Booking{}, ErrRideFull
-	}
-
-	// Re-derive the best valid support pair; the search's snapshot may be
-	// stale.
-	fresh, ok := e.checkDetourAndOrder(r, m.PickupCluster, m.DropoffCluster)
-	if !ok {
-		return Booking{}, ErrNoLongerFeasible
-	}
 
 	// Concrete pickup/drop-off landmarks: the nearest landmark of each
-	// matched cluster to the requester's endpoints. The walk to them must
-	// respect the request's limit.
+	// matched cluster to the requester's endpoints. Pure discretization
+	// lookups — resolved once, outside the retry loop and any lock. The
+	// walk to them must respect the request's limit.
 	puLM, walkSrc := e.disc.NearestLandmarkInCluster(req.Source, m.PickupCluster)
 	doLM, walkDst := e.disc.NearestLandmarkInCluster(req.Dest, m.DropoffCluster)
 	if puLM < 0 || doLM < 0 {
@@ -61,34 +72,90 @@ func (e *Engine) Book(m Match, req Request) (Booking, error) {
 	puNode := e.disc.Landmarks[puLM].Node
 	doNode := e.disc.Landmarks[doLM].Node
 
+	for attempt := 1; ; attempt++ {
+		bk, conflict, err := e.tryBook(m, puLM, doLM, puNode, doNode, walkSrc, walkDst)
+		if !conflict {
+			return bk, err
+		}
+		e.m.bookConflictRetries.Add(1)
+		if e.tel != nil && e.tel.bookConflicts != nil {
+			e.tel.bookConflicts.Inc()
+		}
+		if attempt >= bookMaxAttempts {
+			return Booking{}, ErrNoLongerFeasible
+		}
+	}
+}
+
+// tryBook runs one optimistic attempt: snapshot under the read lock,
+// splice unlocked, validate-and-commit under the write lock. conflict
+// reports that the ride mutated between snapshot and commit and the
+// caller should retry.
+func (e *Engine) tryBook(m Match, puLM, doLM int, puNode, doNode roadnet.NodeID, walkSrc, walkDst float64) (bk Booking, conflict bool, err error) {
+	sh := e.ix.ShardFor(m.Ride)
+
+	// Phase 1 — snapshot: validate against current state under the read
+	// lock and copy what the splice needs.
+	sh.RLock()
+	r := sh.Ix.Ride(m.Ride)
+	if r == nil {
+		sh.RUnlock()
+		e.m.bookingsFailed.Add(1)
+		return Booking{}, false, ErrUnknownRide
+	}
+	if r.SeatsAvail <= 0 {
+		sh.RUnlock()
+		e.m.bookingsFailed.Add(1)
+		return Booking{}, false, ErrRideFull
+	}
+	// Re-derive the best valid support pair; the search's snapshot may be
+	// stale.
+	fresh, ok := checkDetourAndOrder(sh.Ix, r, m.PickupCluster, m.DropoffCluster)
+	if !ok {
+		sh.RUnlock()
+		return Booking{}, false, ErrNoLongerFeasible
+	}
 	sSeg, dSeg := fresh.pickupSeg(), fresh.dropoffSeg()
 	if sSeg > dSeg {
-		return Booking{}, ErrNoLongerFeasible
+		sh.RUnlock()
+		return Booking{}, false, ErrNoLongerFeasible
 	}
 	// The vehicle must not have passed the splice start.
 	if r.Via[sSeg].RouteIdx < r.Progress {
-		return Booking{}, ErrNoLongerFeasible
+		sh.RUnlock()
+		return Booking{}, false, ErrNoLongerFeasible
 	}
-
-	oldLen, err := e.disc.City().Graph.PathLength(r.Route)
-	if err != nil {
-		return Booking{}, fmt.Errorf("xar: corrupt route on ride %d: %w", r.ID, err)
+	rev := r.Rev
+	detourBudget := r.DetourLimit
+	shadow := &index.Ride{
+		ID:    r.ID,
+		Route: append([]roadnet.NodeID(nil), r.Route...),
+		Via:   append([]index.ViaPoint(nil), r.Via...),
 	}
+	sh.RUnlock()
 
+	// Phase 2 — compute: path length, refined estimate and the ≤4
+	// shortest-path splice, all against the snapshot, no lock held.
+	oldLen, perr := e.disc.City().Graph.PathLength(shadow.Route)
+	if perr != nil {
+		return Booking{}, false, fmt.Errorf("xar: corrupt route on ride %d: %w", shadow.ID, perr)
+	}
 	// Refine the detour estimate with the precomputed landmark-distance
 	// matrix now that the concrete pickup/drop-off landmarks are known.
 	// Still no shortest-path computation: this is a table lookup chain,
 	// and it is the "approximated detour" the paper's Figure 3a compares
 	// against the exact splice cost.
-	estimate := e.refineDetourEstimate(r, sSeg, dSeg, puLM, doLM, fresh.DetourEstimate)
+	estimate := e.refineDetourEstimate(shadow, sSeg, dSeg, puLM, doLM, fresh.DetourEstimate)
 
-	newRoute, newVia, spRuns, err := e.spliceRoute(r, sSeg, dSeg, puNode, doNode)
-	if err != nil {
-		return Booking{}, err
+	f := e.finder()
+	newRoute, newVia, spRuns, serr := e.spliceRoute(f, shadow, sSeg, dSeg, puNode, doNode)
+	e.release(f)
+	if serr != nil {
+		return Booking{}, false, serr
 	}
-	newLen, err := e.disc.City().Graph.PathLength(newRoute)
-	if err != nil {
-		return Booking{}, fmt.Errorf("xar: spliced route invalid: %w", err)
+	newLen, perr := e.disc.City().Graph.PathLength(newRoute)
+	if perr != nil {
+		return Booking{}, false, fmt.Errorf("xar: spliced route invalid: %w", perr)
 	}
 	detour := newLen - oldLen
 	if detour < 0 {
@@ -98,12 +165,30 @@ func (e *Engine) Book(m Match, req Request) (Booking, error) {
 	if !e.cfg.StrictDetour {
 		allowance = 4 * e.disc.Epsilon()
 	}
-	if detour > r.DetourLimit+allowance {
-		return Booking{}, ErrDetourExceeded
+	if detour > detourBudget+allowance {
+		return Booking{}, false, ErrDetourExceeded
+	}
+
+	// Phase 3 — validate-and-commit under the shard's write lock: the
+	// splice is only applied if the ride is untouched since the snapshot
+	// (same revision ⇒ same route, seats, budget and progress).
+	sh.Lock()
+	defer sh.Unlock()
+	r = sh.Ix.Ride(m.Ride)
+	if r == nil {
+		e.m.bookingsFailed.Add(1)
+		return Booking{}, false, ErrUnknownRide
+	}
+	if r.Rev != rev {
+		return Booking{}, true, nil // stale splice: retry
+	}
+	if r.SeatsAvail <= 0 { // unreachable while Rev is stable; defensive
+		e.m.bookingsFailed.Add(1)
+		return Booking{}, false, ErrRideFull
 	}
 
 	// Commit: route, via-points, ETAs, budget, seats; then rebuild the
-	// cluster registrations.
+	// cluster registrations (bumps Rev).
 	r.Route = newRoute
 	r.RouteETA = e.computeETAs(newRoute, r.Departure)
 	for i := range newVia {
@@ -115,8 +200,8 @@ func (e *Engine) Book(m Match, req Request) (Booking, error) {
 		r.DetourLimit = 0
 	}
 	r.SeatsAvail--
-	if err := e.ix.Reregister(r); err != nil {
-		return Booking{}, err
+	if rerr := sh.Ix.Reregister(r); rerr != nil {
+		return Booking{}, false, rerr
 	}
 
 	e.m.bookings.Add(1)
@@ -144,7 +229,7 @@ func (e *Engine) Book(m Match, req Request) (Booking, error) {
 		DetourEstimate:   estimate,
 		DetourActual:     detour,
 		ShortestPathRuns: spRuns,
-	}, nil
+	}, false, nil
 }
 
 // refineDetourEstimate predicts the booking's exact splice detour from
@@ -190,13 +275,15 @@ func (m Match) dropoffSeg() int { return m.dropoffSegv }
 
 // spliceRoute builds the new route and via-point list for a pickup in
 // segment sSeg and a drop-off in segment dSeg (sSeg ≤ dSeg), running at
-// most four shortest-path searches (three when sSeg == dSeg).
-func (e *Engine) spliceRoute(r *index.Ride, sSeg, dSeg int, pu, do roadnet.NodeID) ([]roadnet.NodeID, []index.ViaPoint, int, error) {
+// most four shortest-path searches (three when sSeg == dSeg) on the
+// caller-supplied finder. r may be a snapshot; only Route and Via are
+// read.
+func (e *Engine) spliceRoute(f pathFinder, r *index.Ride, sSeg, dSeg int, pu, do roadnet.NodeID) ([]roadnet.NodeID, []index.ViaPoint, int, error) {
 	sp := func(a, b roadnet.NodeID) ([]roadnet.NodeID, error) {
 		if a == b {
 			return []roadnet.NodeID{a}, nil
 		}
-		res := e.searcher.ShortestPath(a, b)
+		res := f.ShortestPath(a, b)
 		if !res.Reachable() {
 			return nil, ErrUnreachable
 		}

@@ -76,6 +76,7 @@ func TestMultipleBookingsAccumulate(t *testing.T) {
 			continue
 		}
 		booked++
+		r = e.Ride(id) // re-fetch: snapshots don't observe bookings
 		validateRide(t, e, r)
 	}
 	if booked < 2 {
@@ -122,6 +123,7 @@ func TestBookingDetourAccounting(t *testing.T) {
 			break
 		}
 		totalDetour += bk.DetourActual
+		r = e.Ride(id) // re-fetch: snapshots don't observe bookings
 	}
 	routeLen, err := e.disc.City().Graph.PathLength(r.Route)
 	if err != nil {

@@ -20,10 +20,14 @@ func (e *Engine) CancelBooking(id index.RideID, pickup, dropoff roadnet.NodeID) 
 	if e.tel != nil {
 		defer func(start time.Time) { e.tel.observeOp(opCancel, time.Since(start)) }(time.Now())
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	// Cancellation is rare; it holds its ride's shard write lock for the
+	// whole re-stitch rather than running the optimistic protocol —
+	// simpler, and it stalls only 1/N of concurrent searches.
+	sh := e.ix.ShardFor(id)
+	sh.Lock()
+	defer sh.Unlock()
 
-	r := e.ix.Ride(id)
+	r := sh.Ix.Ride(id)
 	if r == nil {
 		return ErrUnknownRide
 	}
@@ -59,19 +63,22 @@ func (e *Engine) CancelBooking(id index.RideID, pickup, dropoff roadnet.NodeID) 
 	// re-stitch is acceptable here, unlike the hot booking path.)
 	route := []roadnet.NodeID{keep[0].Node}
 	viaIdx := make([]int, len(keep))
+	f := e.finder()
 	for i := 1; i < len(keep); i++ {
 		if keep[i].Node == keep[i-1].Node {
 			viaIdx[i] = len(route) - 1
 			continue
 		}
 		e.m.shortestPaths.Add(1)
-		res := e.searcher.ShortestPath(keep[i-1].Node, keep[i].Node)
+		res := f.ShortestPath(keep[i-1].Node, keep[i].Node)
 		if !res.Reachable() {
+			e.release(f)
 			return ErrUnreachable
 		}
 		route = append(route, res.Path[1:]...)
 		viaIdx[i] = len(route) - 1
 	}
+	e.release(f)
 
 	newLen, err := e.disc.City().Graph.PathLength(route)
 	if err != nil {
@@ -103,5 +110,5 @@ func (e *Engine) CancelBooking(id index.RideID, pickup, dropoff roadnet.NodeID) 
 	// changed, so reset progress conservatively to the route start of the
 	// first remaining segment.
 	r.Progress = 0
-	return e.ix.Reregister(r)
+	return sh.Ix.Reregister(r)
 }

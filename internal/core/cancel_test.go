@@ -39,6 +39,7 @@ func TestCancelBookingRestoresRide(t *testing.T) {
 	if err := e.CancelBooking(bk.Ride, bk.PickupNode, bk.DropoffNode); err != nil {
 		t.Fatal(err)
 	}
+	r = e.Ride(bk.Ride) // re-fetch: snapshots don't observe the cancel
 	if r.SeatsAvail != seatsAfterBook+1 {
 		t.Fatalf("seats %d → %d; cancellation must return the seat", seatsAfterBook, r.SeatsAvail)
 	}

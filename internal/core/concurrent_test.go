@@ -1,0 +1,270 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"xar/internal/discretize"
+	"xar/internal/index"
+	"xar/internal/roadnet"
+)
+
+// concurrentEngine builds an engine for the stress tests with an
+// explicit concurrency configuration.
+func concurrentEngine(t testing.TB, shards, workers int) *Engine {
+	t.Helper()
+	city, err := roadnet.GenerateCity(roadnet.DefaultCityConfig(24, 14, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := discretize.Build(city, discretize.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.IndexShards = shards
+	cfg.SearchWorkers = workers
+	e, err := NewEngine(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestConcurrentMixedWorkload is the concurrent analogue of
+// failure_test.go: 8+ goroutines hammer one engine with a mix of
+// Create/Search/Book/Cancel/Track/Complete while the test asserts the
+// engine's invariants hold — seats never negative, bookings only land
+// on live rides, cross-structure index invariants intact, and the
+// metrics counters mutually consistent. Run it with -race: the sharded
+// index, pooled searchers and optimistic booking protocol are exactly
+// the code paths whose synchronization it exercises.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	for _, tc := range []struct {
+		name            string
+		shards, workers int
+	}{
+		{"defaultShards_serialSearch", 0, 0},
+		{"fourShards_parallelSearch", 4, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := concurrentEngine(t, tc.shards, tc.workers)
+			src, dst := farPoints(t, e)
+
+			const goroutines = 8
+			iters := 120
+			if testing.Short() {
+				iters = 30
+			}
+
+			// Shared live-ride pool the goroutines sample from.
+			var poolMu sync.Mutex
+			var pool []index.RideID
+			pickRide := func(rng *rand.Rand) (index.RideID, bool) {
+				poolMu.Lock()
+				defer poolMu.Unlock()
+				if len(pool) == 0 {
+					return 0, false
+				}
+				return pool[rng.Intn(len(pool))], true
+			}
+
+			var violations atomic.Int32
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					var myBookings []Booking
+					for i := 0; i < iters; i++ {
+						switch op := rng.Intn(10); {
+						case op < 2: // create
+							id, err := e.CreateRide(RideOffer{
+								Source: src, Dest: dst,
+								Departure:   float64(rng.Intn(2000)),
+								DetourLimit: 2000 + float64(rng.Intn(2000)),
+								Seats:       2 + rng.Intn(3),
+							})
+							if err == nil {
+								poolMu.Lock()
+								pool = append(pool, id)
+								poolMu.Unlock()
+							}
+						case op < 6: // search (+ book a found match)
+							id, ok := pickRide(rng)
+							if !ok {
+								continue
+							}
+							r := e.Ride(id)
+							if r == nil {
+								continue
+							}
+							req := requestAlong(e, r, 0.1+rng.Float64()*0.3, 0.6+rng.Float64()*0.3, 3600, 900)
+							ms, err := e.Search(req)
+							if err != nil || len(ms) == 0 {
+								continue
+							}
+							m := ms[rng.Intn(len(ms))]
+							bk, err := e.Book(m, req)
+							switch err {
+							case nil:
+								myBookings = append(myBookings, bk)
+							case ErrUnknownRide, ErrRideFull, ErrNoLongerFeasible, ErrDetourExceeded, ErrUnreachable:
+								// expected under concurrent mutation
+							default:
+								t.Errorf("unexpected booking error: %v", err)
+								violations.Add(1)
+							}
+						case op < 7: // cancel one of my bookings
+							if len(myBookings) == 0 {
+								continue
+							}
+							bk := myBookings[len(myBookings)-1]
+							myBookings = myBookings[:len(myBookings)-1]
+							_ = e.CancelBooking(bk.Ride, bk.PickupNode, bk.DropoffNode)
+						case op < 9: // track by wall clock
+							if id, ok := pickRide(rng); ok {
+								_, _ = e.Track(id, float64(rng.Intn(4000)))
+							}
+						default: // complete (rarely: keep the pool populated)
+							if rng.Intn(4) == 0 {
+								if id, ok := pickRide(rng); ok {
+									e.CompleteRide(id)
+								}
+							}
+						}
+						// Seats must never go negative on any observable
+						// snapshot.
+						if id, ok := pickRide(rng); ok {
+							if r := e.Ride(id); r != nil && (r.SeatsAvail < 0 || r.SeatsAvail > r.SeatsTotal-1) {
+								t.Errorf("ride %d seats out of range: %d/%d", r.ID, r.SeatsAvail, r.SeatsTotal)
+								violations.Add(1)
+							}
+						}
+					}
+				}(int64(1000 + g))
+			}
+			wg.Wait()
+
+			if violations.Load() > 0 {
+				t.Fatalf("%d invariant violations during the run", violations.Load())
+			}
+			if err := e.Index().CheckInvariants(); err != nil {
+				t.Fatalf("index invariants after stress: %v", err)
+			}
+			m := e.Metrics()
+			if int(m.RidesCreated)-int(m.RidesCompleted) != e.NumRides() {
+				t.Fatalf("created %d − completed %d ≠ live %d",
+					m.RidesCreated, m.RidesCompleted, e.NumRides())
+			}
+			// Every booked ride at the end must still be live or have been
+			// completed; no seat count may be negative.
+			e.Index().Rides(func(r *index.Ride) bool {
+				if r.SeatsAvail < 0 {
+					t.Errorf("ride %d has negative seats", r.ID)
+				}
+				return true
+			})
+			// Booking on a completed (removed) ride must fail cleanly.
+			if id, err := e.CreateRide(RideOffer{Source: src, Dest: dst, Departure: 0, DetourLimit: 1500}); err == nil {
+				e.CompleteRide(id)
+				if _, err := e.Book(Match{Ride: id}, Request{Source: src, Dest: dst, LatestDeparture: 100, WalkLimit: 500}); err != ErrUnknownRide {
+					t.Fatalf("booking a completed ride: err = %v, want ErrUnknownRide", err)
+				}
+			}
+		})
+	}
+}
+
+// TestShardingDeterministicReplay replays one serial workload against an
+// unsharded (1-stripe) and a 16-stripe engine over the same
+// discretization and asserts identical observable behaviour: the same
+// ride IDs, the same search results and the same booking
+// accepted/rejected outcomes. Sharding is a pure partition of the index
+// by ride ID — it must not change any single-threaded result.
+func TestShardingDeterministicReplay(t *testing.T) {
+	city, err := roadnet.GenerateCity(roadnet.DefaultCityConfig(24, 14, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := discretize.Build(city, discretize.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newEng := func(shards int) *Engine {
+		cfg := DefaultConfig()
+		cfg.IndexShards = shards
+		e, err := NewEngine(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e1, e16 := newEng(1), newEng(16)
+
+	g := city.Graph
+	rng := rand.New(rand.NewSource(7))
+	var ids []index.RideID
+	for i := 0; i < 24; i++ {
+		o := RideOffer{
+			Source:      g.Point(roadnet.NodeID(rng.Intn(g.NumNodes()))),
+			Dest:        g.Point(roadnet.NodeID(rng.Intn(g.NumNodes()))),
+			Departure:   float64(rng.Intn(2000)),
+			DetourLimit: 1500 + float64(rng.Intn(2000)),
+		}
+		id1, err1 := e1.CreateRide(o)
+		id16, err16 := e16.CreateRide(o)
+		if (err1 == nil) != (err16 == nil) || id1 != id16 {
+			t.Fatalf("create diverged: (%v,%v) vs (%v,%v)", id1, err1, id16, err16)
+		}
+		if err1 == nil {
+			ids = append(ids, id1)
+		}
+	}
+	if len(ids) == 0 {
+		t.Fatal("no rides created")
+	}
+
+	accepted1, accepted16 := 0, 0
+	for i := 0; i < 80; i++ {
+		id := ids[rng.Intn(len(ids))]
+		r := e1.Ride(id)
+		if r == nil {
+			continue
+		}
+		req := requestAlong(e1, r, 0.1+rng.Float64()*0.4, 0.55+rng.Float64()*0.4, 3600, 900)
+		ms1, err1 := e1.Search(req)
+		ms16, err16 := e16.Search(req)
+		if (err1 == nil) != (err16 == nil) || !reflect.DeepEqual(ms1, ms16) {
+			t.Fatalf("search %d diverged: %d matches (%v) vs %d matches (%v)", i, len(ms1), err1, len(ms16), err16)
+		}
+		if err1 != nil || len(ms1) == 0 {
+			continue
+		}
+		bk1, berr1 := e1.Book(ms1[0], req)
+		bk16, berr16 := e16.Book(ms16[0], req)
+		if (berr1 == nil) != (berr16 == nil) {
+			t.Fatalf("booking %d diverged: %v vs %v", i, berr1, berr16)
+		}
+		if berr1 == nil {
+			accepted1++
+			accepted16++
+			if bk1.Ride != bk16.Ride || bk1.DetourActual != bk16.DetourActual {
+				t.Fatalf("booking %d results differ: %+v vs %+v", i, bk1, bk16)
+			}
+		}
+	}
+	if accepted1 == 0 {
+		t.Skip("no bookings landed; layout-dependent")
+	}
+	if e1.NumRides() != e16.NumRides() {
+		t.Fatalf("ride counts diverged: %d vs %d", e1.NumRides(), e16.NumRides())
+	}
+	if err := e16.Index().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -94,6 +94,20 @@ type Config struct {
 	// SlowOpLogger receives slow-operation records; nil with a non-zero
 	// threshold falls back to slog.Default().
 	SlowOpLogger *slog.Logger
+	// IndexShards is the ride-index stripe count (0 →
+	// index.DefaultShards). Rides are partitioned by ID across
+	// independently locked shards; create/book/cancel/track lock one
+	// shard, searches take each shard's read lock only while reading its
+	// posting lists. More shards → less contention, slightly more fixed
+	// memory (one empty cluster array per shard).
+	IndexShards int
+	// SearchWorkers enables the parallel candidate-evaluation stage:
+	// searches fan their per-shard candidate scan + validation out over
+	// min(SearchWorkers, IndexShards) goroutines. 0 (default) evaluates
+	// shards serially — the right choice when the caller already runs
+	// many searches concurrently (an HTTP server); set it for few large
+	// searches on an otherwise idle machine (batch planners).
+	SearchWorkers int
 }
 
 // DefaultConfig returns production defaults.
@@ -188,15 +202,31 @@ func (b Booking) ApproxError() float64 {
 	return e
 }
 
-// Engine is the XAR run-time unit. Safe for concurrent use: searches
-// share a read lock; create/book/track serialize on a write lock.
+// Engine is the XAR run-time unit. Safe for concurrent use and designed
+// to scale with cores: the ride index is striped across lock-striped
+// shards (searches take only brief per-shard read locks; mutations lock
+// one shard), shortest-path computation runs on pooled per-goroutine
+// searchers outside any lock, and bookings commit optimistically
+// (validate → compute unlocked → re-validate-and-commit under the
+// shard's write lock, retrying on conflict). See DESIGN.md §Concurrency
+// model.
 type Engine struct {
 	cfg  Config
 	disc *discretize.Discretization
 
-	mu       sync.RWMutex
-	ix       *index.Index
-	searcher pathFinder // guarded by mu (write paths only)
+	ix *index.Sharded
+
+	// finders pools pathFinder instances (the Graph and ALT landmark
+	// tables are immutable and shared; only the O(n) stamp/dist/prev
+	// scratch is per-instance), so shortest-path work never holds any
+	// engine lock and concurrent creates/bookings never contend.
+	finders   sync.Pool
+	newFinder func() pathFinder
+
+	// scratchPool recycles per-worker search working sets (candidate
+	// maps, posting-list pull buffer) so a search allocates nothing per
+	// shard it visits.
+	scratchPool sync.Pool
 
 	m   metrics
 	tel *engineTelemetry // nil → uninstrumented
@@ -216,44 +246,65 @@ func NewEngine(disc *discretize.Discretization, cfg Config) (*Engine, error) {
 	if cfg.DefaultSeats < 0 {
 		return nil, fmt.Errorf("xar: negative DefaultSeats")
 	}
+	if cfg.IndexShards < 0 {
+		return nil, fmt.Errorf("xar: negative IndexShards")
+	}
+	if cfg.SearchWorkers < 0 {
+		return nil, fmt.Errorf("xar: negative SearchWorkers")
+	}
 	if cfg.Index.AvgSpeed == 0 {
 		cfg.Index = index.DefaultConfig()
 	}
-	ix, err := index.New(disc, cfg.Index)
+	ix, err := index.NewSharded(disc, cfg.Index, cfg.IndexShards)
 	if err != nil {
 		return nil, err
 	}
-	var finder pathFinder = roadnet.NewSearcher(disc.City().Graph)
+	g := disc.City().Graph
+	newFinder := func() pathFinder { return roadnet.NewSearcher(g) }
 	if cfg.UseALTPaths {
-		alt, err := roadnet.NewALT(disc.City().Graph, cfg.ALTSeeds)
+		alt, err := roadnet.NewALT(g, cfg.ALTSeeds)
 		if err != nil {
 			return nil, err
 		}
-		finder = alt.NewSearcher()
+		newFinder = func() pathFinder { return alt.NewSearcher() }
 	}
 	e := &Engine{
-		cfg:      cfg,
-		disc:     disc,
-		ix:       ix,
-		searcher: finder,
+		cfg:       cfg,
+		disc:      disc,
+		ix:        ix,
+		newFinder: newFinder,
 	}
+	e.finders.New = func() any { return e.newFinder() }
+	e.scratchPool.New = func() any { return newSearchScratch() }
 	if cfg.Telemetry != nil || cfg.SlowOpThreshold > 0 {
 		e.tel = newEngineTelemetry(cfg.Telemetry, cfg.SearchSampleRate, cfg.SlowOpThreshold, cfg.SlowOpLogger)
+	}
+	if cfg.Telemetry != nil {
+		registerShardGauges(cfg.Telemetry, ix.View())
 	}
 	return e, nil
 }
 
+// finder checks a pathFinder out of the pool; release returns it. The
+// checkout pattern (rather than a per-engine instance) is what lets any
+// number of concurrent creates/bookings run shortest paths without
+// serializing on a lock.
+func (e *Engine) finder() pathFinder { return e.finders.Get().(pathFinder) }
+
+func (e *Engine) release(f pathFinder) { e.finders.Put(f) }
+
 // Disc returns the engine's discretization.
 func (e *Engine) Disc() *discretize.Discretization { return e.disc }
 
-// Index returns the underlying index (memory measurement, tests). The
-// caller must not mutate it concurrently with engine operations.
-func (e *Engine) Index() *index.Index { return e.ix }
+// Index returns a read-only, internally synchronized view of the ride
+// index (memory measurement, invariant checks, diagnostics). The view's
+// methods take the shard locks they need, so it is safe to use while the
+// engine serves traffic; deep-size measurement via reflection remains
+// quiescent-only.
+func (e *Engine) Index() index.View { return e.ix.View() }
 
 // NumRides returns the number of active rides.
 func (e *Engine) NumRides() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	return e.ix.NumRides()
 }
 
@@ -283,9 +334,7 @@ func (e *Engine) CreateRide(offer RideOffer) (index.RideID, error) {
 		defer func(start time.Time) { e.tel.observeOp(opCreate, time.Since(start)) }(time.Now())
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-
+	// Snap + route + ETAs touch only the immutable city/graph: no lock.
 	city := e.disc.City()
 	srcNode, _ := city.SnapToNode(offer.Source)
 	dstNode, _ := city.SnapToNode(offer.Dest)
@@ -296,7 +345,9 @@ func (e *Engine) CreateRide(offer RideOffer) (index.RideID, error) {
 		return 0, fmt.Errorf("xar: offer endpoints snap to the same road node")
 	}
 	e.m.shortestPaths.Add(1)
-	res := e.searcher.ShortestPath(srcNode, dstNode)
+	f := e.finder()
+	res := f.ShortestPath(srcNode, dstNode)
+	e.release(f)
 	if !res.Reachable() {
 		return 0, ErrUnreachable
 	}
@@ -319,7 +370,13 @@ func (e *Engine) CreateRide(offer RideOffer) (index.RideID, error) {
 		{RouteIdx: 0, Node: srcNode, ETA: r.RouteETA[0], Kind: index.ViaSource},
 		{RouteIdx: len(res.Path) - 1, Node: dstNode, ETA: r.RouteETA[len(res.Path)-1], Kind: index.ViaDest},
 	}
-	if err := e.ix.Insert(r); err != nil {
+	// Only the registration itself needs the ride's shard — one write
+	// lock, no shortest-path work inside it.
+	sh := e.ix.ShardFor(r.ID)
+	sh.Lock()
+	err := sh.Ix.Insert(r)
+	sh.Unlock()
+	if err != nil {
 		return 0, err
 	}
 	e.m.ridesCreated.Add(1)
@@ -350,11 +407,11 @@ func (e *Engine) computeETAs(route []roadnet.NodeID, start float64) []float64 {
 	return etas
 }
 
-// Ride returns a snapshot view of a ride (nil if unknown).
+// Ride returns a snapshot of a ride (nil if unknown): a deep copy taken
+// under the owning shard's read lock, so the caller can inspect it
+// without racing concurrent bookings or tracking.
 func (e *Engine) Ride(id index.RideID) *index.Ride {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.ix.Ride(id)
+	return e.ix.Snapshot(id)
 }
 
 // CompleteRide removes a finished or cancelled ride from the system.
@@ -362,9 +419,11 @@ func (e *Engine) CompleteRide(id index.RideID) bool {
 	if e.tel != nil {
 		defer func(start time.Time) { e.tel.observeOp(opComplete, time.Since(start)) }(time.Now())
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.ix.Remove(id) {
+	sh := e.ix.ShardFor(id)
+	sh.Lock()
+	removed := sh.Ix.Remove(id)
+	sh.Unlock()
+	if !removed {
 		return false
 	}
 	e.m.ridesCompleted.Add(1)

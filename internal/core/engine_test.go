@@ -374,6 +374,7 @@ func TestBookEndToEnd(t *testing.T) {
 	if bk.ShortestPathRuns > 4 {
 		t.Fatalf("booking ran %d shortest paths, paper bound is 4", bk.ShortestPathRuns)
 	}
+	r = e.Ride(id) // snapshots don't observe the booking; re-fetch
 	if r.SeatsAvail != seatsBefore-1 {
 		t.Fatalf("seats %d → %d", seatsBefore, r.SeatsAvail)
 	}
@@ -419,7 +420,7 @@ func TestBookEndToEnd(t *testing.T) {
 	if puIdx < 0 || doIdx < 0 || doIdx < puIdx {
 		t.Fatalf("pickup at %d, drop-off at %d", puIdx, doIdx)
 	}
-	if err := e.ix.CheckInvariants(); err != nil {
+	if err := e.Index().CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -456,6 +457,7 @@ func TestBookConsumesSeatsUntilFull(t *testing.T) {
 			t.Fatal(err)
 		}
 		booked++
+		r = e.Ride(id) // re-fetch: snapshots don't observe bookings
 	}
 	if booked != 2 {
 		t.Fatalf("capacity-3 ride accepted %d bookings, want 2 (driver + 2)", booked)
@@ -491,7 +493,8 @@ func TestTrackAdvancesAndCompletes(t *testing.T) {
 	if arrived {
 		t.Fatal("ride arrived at half time")
 	}
-	if r.Progress == 0 {
+	// e.Ride returns a snapshot; re-fetch to observe the advance.
+	if e.Ride(id).Progress == 0 {
 		t.Fatal("tracking did not advance progress")
 	}
 	arrived, err = e.Track(id, endETA+1)
@@ -672,7 +675,7 @@ func TestConcurrentSearchesDuringMutations(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := e.ix.CheckInvariants(); err != nil {
+	if err := e.Index().CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -12,10 +12,11 @@ import (
 // feature per via-point — ready for any web map. Client apps poll this
 // to draw the vehicle's path and stops.
 func (e *Engine) RouteGeoJSON(id index.RideID) ([]byte, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	sh := e.ix.ShardFor(id)
+	sh.RLock()
+	defer sh.RUnlock()
 
-	r := e.ix.Ride(id)
+	r := sh.Ix.Ride(id)
 	if r == nil {
 		return nil, ErrUnknownRide
 	}

@@ -16,6 +16,11 @@ type Metrics struct {
 	TrackCalls     uint64
 	RidesCompleted uint64
 	ShortestPaths  uint64 // single-pair searches run (create + book + cancel)
+	// BookConflictRetries counts optimistic-booking commit attempts that
+	// found the ride mutated (revision changed) between snapshot and
+	// commit and had to retry. A high rate relative to Bookings signals
+	// heavy contention on individual rides.
+	BookConflictRetries uint64
 }
 
 // metrics is the engine-internal atomic counter block.
@@ -26,9 +31,10 @@ type metrics struct {
 	bookings       atomic.Uint64
 	bookingsFailed atomic.Uint64
 	cancellations  atomic.Uint64
-	trackCalls     atomic.Uint64
-	ridesCompleted atomic.Uint64
-	shortestPaths  atomic.Uint64
+	trackCalls          atomic.Uint64
+	ridesCompleted      atomic.Uint64
+	shortestPaths       atomic.Uint64
+	bookConflictRetries atomic.Uint64
 }
 
 // Metrics returns a consistent-enough snapshot of the counters (each
@@ -45,6 +51,8 @@ func (e *Engine) Metrics() Metrics {
 		TrackCalls:     e.m.trackCalls.Load(),
 		RidesCompleted: e.m.ridesCompleted.Load(),
 		ShortestPaths:  e.m.shortestPaths.Load(),
+
+		BookConflictRetries: e.m.bookConflictRetries.Load(),
 	}
 }
 

@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"xar/internal/geo"
@@ -25,6 +27,15 @@ import (
 // ride's remaining budget), pickup-before-drop-off ordering, and seat
 // availability. Matches are returned sorted by total walking distance,
 // the quantity the paper's simulation minimizes.
+//
+// Concurrency: rides are striped across index shards, and every step
+// after the (lock-free) walkable-side lookup is shard-local — a ride's
+// source candidates, destination candidates, intersection and final
+// checks all live in the shard that owns the ride. The search therefore
+// visits shards one at a time, holding only that shard's read lock, and
+// merges the per-shard matches at the end; concurrent mutations block it
+// on at most one stripe. With Config.SearchWorkers > 0 the per-shard
+// work fans out over a worker pool (large fleets, otherwise idle CPUs).
 func (e *Engine) Search(req Request) ([]Match, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -32,19 +43,15 @@ func (e *Engine) Search(req Request) ([]Match, error) {
 	// Searches are sampled (Config.SearchSampleRate): a traced search
 	// records the op histogram plus the per-stage breakdown below. The
 	// sampling sequence rides on the metrics counter the search already
-	// increments, so an unsampled search pays only a mask test — the op
-	// timer therefore measures in-lock time (lock wait excluded; the
-	// HTTP middleware captures end-to-end latency for every request).
-	e.mu.RLock()
+	// increments, so an unsampled search pays only a mask test.
 	n := e.m.searches.Add(1)
 	traced := e.tel != nil && uint32(n)&e.tel.sampleMask == 0
 	var start time.Time
 	if traced {
 		start = time.Now()
 	}
-	out, err := e.searchLocked(req, traced)
+	out, err := e.search(req, traced)
 	e.m.searchMatches.Add(uint64(len(out)))
-	e.mu.RUnlock()
 	if traced {
 		e.tel.observeOp(opSearch, time.Since(start))
 	}
@@ -70,9 +77,44 @@ type sideCandidate struct {
 	walk    float64
 }
 
-func (e *Engine) searchLocked(req Request, traced bool) ([]Match, error) {
-	// Stage clock: one time.Now() per stage boundary when this search is
-	// traced (plus two per candidate in the final loop); zero otherwise.
+// shardSearchResult carries one shard's matches plus its stage timings
+// (zero unless the search is traced). Timings are accumulated per shard
+// and summed after the join, so the parallel fan-out needs no shared
+// clocks; under workers the sums measure CPU time, not wall time.
+type shardSearchResult struct {
+	matches          []Match
+	cand, final      time.Duration
+	walkPair, detour time.Duration
+}
+
+// searchScratch holds the per-shard working set of one search worker:
+// the source/destination candidate maps and the posting-list pull
+// buffer. One scratch is reused across every shard a worker visits
+// (maps cleared between shards), so the per-shard cost of the sharded
+// search is lock + scan, not two map allocations per stripe — that
+// reuse is what keeps the single-threaded latency at the unsharded
+// level.
+type searchScratch struct {
+	r1, r2 map[index.RideID]sideCandidate
+	ids    []index.RideID
+	// results is the per-shard result array of one search (serial path
+	// only; the parallel path needs a private array per search anyway).
+	results []shardSearchResult
+}
+
+func newSearchScratch() *searchScratch {
+	return &searchScratch{
+		r1: make(map[index.RideID]sideCandidate),
+		r2: make(map[index.RideID]sideCandidate),
+	}
+}
+
+func (s *searchScratch) reset() {
+	clear(s.r1)
+	clear(s.r2)
+}
+
+func (e *Engine) search(req Request, traced bool) ([]Match, error) {
 	var tel *engineTelemetry
 	if traced {
 		tel = e.tel
@@ -82,6 +124,7 @@ func (e *Engine) searchLocked(req Request, traced bool) ([]Match, error) {
 		mark = time.Now()
 	}
 
+	// Walkable-side resolution reads only the immutable discretization.
 	srcSide, err := e.walkableSide(req.Source, req.WalkLimit)
 	if err != nil {
 		return nil, err
@@ -91,38 +134,122 @@ func (e *Engine) searchLocked(req Request, traced bool) ([]Match, error) {
 		return nil, err
 	}
 	if tel != nil {
-		now := time.Now()
-		tel.stages[stageSideLookup].ObserveDuration(now.Sub(mark))
-		mark = now
+		tel.stages[stageSideLookup].ObserveDuration(time.Since(mark))
 	}
 
-	// Step 1: source-side candidates. For each ride remember the best
-	// (least-walk) source cluster that produced it.
-	r1 := make(map[index.RideID]sideCandidate)
-	var scratch []index.RideID
+	nsh := e.ix.NumShards()
+	var results []shardSearchResult
+	workers := e.cfg.SearchWorkers
+	if workers > nsh {
+		workers = nsh
+	}
+	if workers <= 1 {
+		scratch := e.scratchPool.Get().(*searchScratch)
+		if cap(scratch.results) < nsh {
+			scratch.results = make([]shardSearchResult, nsh)
+		}
+		results = scratch.results[:nsh]
+		for i := 0; i < nsh; i++ {
+			results[i] = e.searchShard(i, req, srcSide, dstSide, traced, scratch)
+		}
+		defer e.scratchPool.Put(scratch)
+	} else {
+		results = make([]shardSearchResult, nsh)
+		// Opt-in parallel candidate evaluation: workers claim shards off
+		// an atomic cursor; each shard is still processed under only its
+		// own read lock.
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				scratch := e.scratchPool.Get().(*searchScratch)
+				defer e.scratchPool.Put(scratch)
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= nsh {
+						return
+					}
+					results[i] = e.searchShard(i, req, srcSide, dstSide, traced, scratch)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var out []Match
+	var candTime, finalTime, walkPairTime, detourTime time.Duration
+	for i := range results {
+		out = append(out, results[i].matches...)
+		candTime += results[i].cand
+		finalTime += results[i].final
+		walkPairTime += results[i].walkPair
+		detourTime += results[i].detour
+	}
+	var sortMark time.Time
+	if tel != nil {
+		sortMark = time.Now()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalWalk() != out[j].TotalWalk() {
+			return out[i].TotalWalk() < out[j].TotalWalk()
+		}
+		return out[i].Ride < out[j].Ride
+	})
+	if tel != nil {
+		tel.stages[stageCandidate].ObserveDuration(candTime)
+		tel.stages[stageFinalCheck].ObserveDuration(finalTime + time.Since(sortMark))
+		if walkPairTime > 0 {
+			tel.stages[stageWalkPair].ObserveDuration(walkPairTime)
+		}
+		if detourTime > 0 {
+			tel.stages[stageDetourCheck].ObserveDuration(detourTime)
+		}
+	}
+	return out, nil
+}
+
+// searchShard runs steps 1+2 and the final checks against one shard's
+// posting lists, under that shard's read lock only.
+func (e *Engine) searchShard(shard int, req Request, srcSide, dstSide []sideCandidate, traced bool, s *searchScratch) shardSearchResult {
+	var res shardSearchResult
+	var mark time.Time
+	if traced {
+		mark = time.Now()
+	}
+	sh := e.ix.Shard(shard)
+	sh.RLock()
+	defer sh.RUnlock()
+	ix := sh.Ix
+
+	// Step 1: source-side candidates among this shard's rides. For each
+	// ride remember the best (least-walk) source cluster that produced it.
+	r1 := s.r1
 	for _, sc := range srcSide {
-		scratch = e.ix.PotentialRides(sc.cluster, req.EarliestDeparture, req.LatestDeparture, scratch[:0])
-		for _, id := range scratch {
+		s.ids = ix.PotentialRides(sc.cluster, req.EarliestDeparture, req.LatestDeparture, s.ids[:0])
+		for _, id := range s.ids {
 			if prev, ok := r1[id]; !ok || sc.walk < prev.walk {
 				r1[id] = sideCandidate{cluster: sc.cluster, walk: sc.walk}
 			}
 		}
 	}
 	if len(r1) == 0 {
-		if tel != nil {
-			tel.stages[stageCandidate].ObserveDuration(time.Since(mark))
+		if traced {
+			res.cand = time.Since(mark)
 		}
-		return nil, nil
+		return res
 	}
+	defer s.reset()
 
 	// Step 2: destination-side candidates and intersection R1 ∩ R2.
 	// The destination window extends past the departure window because
 	// the drop-off happens after the pickup.
 	destT2 := req.LatestDeparture + e.cfg.DestWindowSlack
-	r2 := make(map[index.RideID]sideCandidate)
+	r2 := s.r2
 	for _, dc := range dstSide {
-		scratch = e.ix.PotentialRides(dc.cluster, req.EarliestDeparture, destT2, scratch[:0])
-		for _, id := range scratch {
+		s.ids = ix.PotentialRides(dc.cluster, req.EarliestDeparture, destT2, s.ids[:0])
+		for _, id := range s.ids {
 			if _, inR1 := r1[id]; !inR1 {
 				continue // intersection only
 			}
@@ -131,18 +258,16 @@ func (e *Engine) searchLocked(req Request, traced bool) ([]Match, error) {
 			}
 		}
 	}
-	if tel != nil {
+	if traced {
 		now := time.Now()
-		tel.stages[stageCandidate].ObserveDuration(now.Sub(mark))
+		res.cand = now.Sub(mark)
 		mark = now
 	}
 
 	// Final checks on the intersection.
-	var out []Match
-	var walkPairTime, detourTime time.Duration
 	for id, dst := range r2 {
 		src := r1[id]
-		r := e.ix.Ride(id)
+		r := ix.Ride(id)
 		if r == nil || r.SeatsAvail <= 0 {
 			continue
 		}
@@ -154,12 +279,12 @@ func (e *Engine) searchLocked(req Request, traced bool) ([]Match, error) {
 			// passes; try to find any feasible pair cheaply by scanning
 			// the (short, sorted) walkable lists again.
 			var ok bool
-			if tel != nil {
+			if traced {
 				t0 := time.Now()
-				src, dst, ok = e.bestWalkPair(srcSide, dstSide, id, req)
-				walkPairTime += time.Since(t0)
+				src, dst, ok = bestWalkPair(ix, srcSide, dstSide, id, req)
+				res.walkPair += time.Since(t0)
 			} else {
-				src, dst, ok = e.bestWalkPair(srcSide, dstSide, id, req)
+				src, dst, ok = bestWalkPair(ix, srcSide, dstSide, id, req)
 			}
 			if !ok {
 				continue
@@ -167,36 +292,24 @@ func (e *Engine) searchLocked(req Request, traced bool) ([]Match, error) {
 		}
 		var m Match
 		var ok bool
-		if tel != nil {
+		if traced {
 			t0 := time.Now()
-			m, ok = e.checkDetourAndOrder(r, src.cluster, dst.cluster)
-			detourTime += time.Since(t0)
+			m, ok = checkDetourAndOrder(ix, r, src.cluster, dst.cluster)
+			res.detour += time.Since(t0)
 		} else {
-			m, ok = e.checkDetourAndOrder(r, src.cluster, dst.cluster)
+			m, ok = checkDetourAndOrder(ix, r, src.cluster, dst.cluster)
 		}
 		if !ok {
 			continue
 		}
 		m.WalkSource = src.walk
 		m.WalkDest = dst.walk
-		out = append(out, m)
+		res.matches = append(res.matches, m)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].TotalWalk() != out[j].TotalWalk() {
-			return out[i].TotalWalk() < out[j].TotalWalk()
-		}
-		return out[i].Ride < out[j].Ride
-	})
-	if tel != nil {
-		tel.stages[stageFinalCheck].ObserveDuration(time.Since(mark))
-		if walkPairTime > 0 {
-			tel.stages[stageWalkPair].ObserveDuration(walkPairTime)
-		}
-		if detourTime > 0 {
-			tel.stages[stageDetourCheck].ObserveDuration(detourTime)
-		}
+	if traced {
+		res.final = time.Since(mark)
 	}
-	return out, nil
+	return res
 }
 
 // walkableSide resolves a request endpoint to its walkable-cluster list
@@ -222,13 +335,14 @@ func (e *Engine) walkableSide(p geo.Point, limit float64) ([]sideCandidate, erro
 // bestWalkPair searches for the least-total-walk (source, dest) cluster
 // pair for which the ride is listed on both sides and the total walk fits
 // the limit. Walkable lists are sorted by walk, so it can stop early.
-func (e *Engine) bestWalkPair(srcSide, dstSide []sideCandidate, id index.RideID, req Request) (s, d sideCandidate, ok bool) {
+// The caller holds the read lock of the shard owning ix.
+func bestWalkPair(ix *index.Index, srcSide, dstSide []sideCandidate, id index.RideID, req Request) (s, d sideCandidate, ok bool) {
 	best := req.WalkLimit + 1
 	for _, sc := range srcSide {
 		if sc.walk >= best {
 			break
 		}
-		if _, listed := e.ix.HasPotentialRide(sc.cluster, id); !listed {
+		if _, listed := ix.HasPotentialRide(sc.cluster, id); !listed {
 			continue
 		}
 		for _, dc := range dstSide {
@@ -236,7 +350,7 @@ func (e *Engine) bestWalkPair(srcSide, dstSide []sideCandidate, id index.RideID,
 			if total >= best || total > req.WalkLimit {
 				break
 			}
-			if _, listed := e.ix.HasPotentialRide(dc.cluster, id); !listed {
+			if _, listed := ix.HasPotentialRide(dc.cluster, id); !listed {
 				continue
 			}
 			best = total
@@ -250,10 +364,11 @@ func (e *Engine) bestWalkPair(srcSide, dstSide []sideCandidate, id index.RideID,
 // checkDetourAndOrder validates that the ride can serve pickup cluster cs
 // then drop-off cluster cd within its remaining detour budget, using only
 // the precomputed supports: pick the support pair (ps, pd) with
-// ps.Order ≤ pd.Order minimizing combined detour.
-func (e *Engine) checkDetourAndOrder(r *index.Ride, cs, cd int) (Match, bool) {
-	sups := e.ix.Supports(r.ID, cs)
-	dups := e.ix.Supports(r.ID, cd)
+// ps.Order ≤ pd.Order minimizing combined detour. The caller holds (at
+// least) the read lock of the shard owning ix and r.
+func checkDetourAndOrder(ix *index.Index, r *index.Ride, cs, cd int) (Match, bool) {
+	sups := ix.Supports(r.ID, cs)
+	dups := ix.Supports(r.ID, cd)
 	if len(sups) == 0 || len(dups) == 0 {
 		return Match{}, false
 	}

@@ -105,15 +105,22 @@ func (e *Engine) RankSocially(matches []Match, requester UserID, g *SocialGraph)
 		pos  int
 	}
 	rs := make([]ranked, len(matches))
-	e.mu.RLock()
 	for i, m := range matches {
 		d := SocialRankDepth + 1
-		if r := e.ix.Ride(m.Ride); r != nil && r.Owner != 0 {
-			d = g.Distance(requester, UserID(r.Owner), SocialRankDepth)
+		// Owner is immutable after creation; a brief per-ride shard read
+		// lock suffices (matches in one ranking may span shards).
+		sh := e.ix.ShardFor(m.Ride)
+		sh.RLock()
+		var owner int64
+		if r := sh.Ix.Ride(m.Ride); r != nil {
+			owner = r.Owner
+		}
+		sh.RUnlock()
+		if owner != 0 {
+			d = g.Distance(requester, UserID(owner), SocialRankDepth)
 		}
 		rs[i] = ranked{m: m, dist: d, pos: i}
 	}
-	e.mu.RUnlock()
 	sort.SliceStable(rs, func(i, j int) bool {
 		if rs[i].dist != rs[j].dist {
 			return rs[i].dist < rs[j].dist
@@ -174,10 +181,11 @@ func (e *Engine) TrackPosition(id index.RideID, report geo.Point) (arrived bool,
 	if e.tel != nil {
 		defer func(start time.Time) { e.tel.observeOp(opTrack, time.Since(start)) }(time.Now())
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	sh := e.ix.ShardFor(id)
+	sh.Lock()
+	defer sh.Unlock()
 
-	r := e.ix.Ride(id)
+	r := sh.Ix.Ride(id)
 	if r == nil {
 		return false, ErrUnknownRide
 	}
@@ -194,7 +202,7 @@ func (e *Engine) TrackPosition(id index.RideID, report geo.Point) (arrived bool,
 		}
 	}
 	if bestIdx > r.Progress {
-		if err := e.ix.Advance(id, bestIdx); err != nil {
+		if err := sh.Ix.Advance(id, bestIdx); err != nil {
 			return false, err
 		}
 	}

@@ -176,15 +176,16 @@ func TestTrackPosition(t *testing.T) {
 	if arrived {
 		t.Fatal("mid-route report must not arrive")
 	}
-	if r.Progress < len(r.Route)/2-1 {
-		t.Fatalf("progress %d after mid-route report", r.Progress)
+	// e.Ride returns a snapshot; re-fetch to observe each advance.
+	if p := e.Ride(id).Progress; p < len(r.Route)/2-1 {
+		t.Fatalf("progress %d after mid-route report", p)
 	}
 	// A jittery report near the start must not move the ride backwards.
-	before := r.Progress
+	before := e.Ride(id).Progress
 	if _, err := e.TrackPosition(id, g.Point(r.Route[0])); err != nil {
 		t.Fatal(err)
 	}
-	if r.Progress < before {
+	if e.Ride(id).Progress < before {
 		t.Fatal("GPS jitter moved the ride backwards")
 	}
 	// Destination report arrives.

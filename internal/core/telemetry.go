@@ -2,8 +2,10 @@ package core
 
 import (
 	"log/slog"
+	"strconv"
 	"time"
 
+	"xar/internal/index"
 	"xar/internal/telemetry"
 )
 
@@ -43,6 +45,11 @@ type engineTelemetry struct {
 	ops    map[string]*telemetry.Histogram
 	stages map[string]*telemetry.Histogram
 
+	// bookConflicts counts optimistic-booking commit retries
+	// (xar_book_conflict_retries_total) — the Prometheus twin of
+	// Metrics.BookConflictRetries.
+	bookConflicts *telemetry.Counter
+
 	// Search sampling: a search is fully timed iff its sequence number
 	// (the engine's own searches counter) & sampleMask == 0, so an
 	// unsampled search pays one mask test and a branch.
@@ -81,10 +88,26 @@ func newEngineTelemetry(reg *telemetry.Registry, sampleRate int, slowThresh time
 	for _, st := range []string{stageSideLookup, stageCandidate, stageFinalCheck, stageWalkPair, stageDetourCheck} {
 		t.stages[st] = telemetry.SearchStage(reg, st)
 	}
+	t.bookConflicts = reg.Counter("xar_book_conflict_retries_total",
+		"Optimistic booking commits retried because the ride mutated between snapshot and commit.", nil)
 	if slowThresh > 0 && t.slowLog == nil {
 		t.slowLog = slog.Default()
 	}
 	return t
+}
+
+// registerShardGauges exposes the per-stripe ride occupancy of the
+// sharded index (xar_index_shard_rides, labeled shard=N). Uniform values
+// across shards confirm the ID-mod-N striping is balanced; a skewed
+// shard would concentrate lock contention. Each gauge read takes only
+// that shard's read lock at scrape time.
+func registerShardGauges(reg *telemetry.Registry, v index.View) {
+	for i := 0; i < v.NumShards(); i++ {
+		reg.GaugeFunc("xar_index_shard_rides",
+			"Active rides per index shard (balanced values mean balanced lock striping).",
+			telemetry.L("shard", strconv.Itoa(i)),
+			func() float64 { return float64(v.ShardLen(i)) })
+	}
 }
 
 // observeOp records one whole-operation duration and emits the slow-op

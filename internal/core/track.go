@@ -16,11 +16,12 @@ func (e *Engine) Track(id index.RideID, now float64) (arrived bool, err error) {
 	if e.tel != nil {
 		defer func(start time.Time) { e.tel.observeOp(opTrack, time.Since(start)) }(time.Now())
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	sh := e.ix.ShardFor(id)
+	sh.Lock()
+	defer sh.Unlock()
 
 	e.m.trackCalls.Add(1)
-	r := e.ix.Ride(id)
+	r := sh.Ix.Ride(id)
 	if r == nil {
 		return false, ErrUnknownRide
 	}
@@ -29,7 +30,7 @@ func (e *Engine) Track(id index.RideID, now float64) (arrived bool, err error) {
 		pos++
 	}
 	if pos != r.Progress {
-		if err := e.ix.Advance(id, pos); err != nil {
+		if err := sh.Ix.Advance(id, pos); err != nil {
 			return false, err
 		}
 	}
@@ -40,13 +41,11 @@ func (e *Engine) Track(id index.RideID, now float64) (arrived bool, err error) {
 // ones that arrived. It returns the number of completed rides — the
 // periodic maintenance pass of a deployment.
 func (e *Engine) TrackAll(now float64) (completed int, err error) {
-	e.mu.Lock()
 	var toAdvance []index.RideID
-	e.ix.Rides(func(r *index.Ride) bool {
+	e.ix.View().Rides(func(r *index.Ride) bool {
 		toAdvance = append(toAdvance, r.ID)
 		return true
 	})
-	e.mu.Unlock()
 
 	for _, id := range toAdvance {
 		arrived, terr := e.Track(id, now)

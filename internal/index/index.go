@@ -54,14 +54,15 @@ func New(disc *discretize.Discretization, cfg Config) (*Index, error) {
 	if cfg.AvgSpeed <= 0 {
 		return nil, fmt.Errorf("index: AvgSpeed must be positive, got %v", cfg.AvgSpeed)
 	}
+	return newWithNeighbors(disc, cfg, buildNeighbors(disc)), nil
+}
+
+// buildNeighbors computes the per-cluster sorted neighbor table. The
+// table is immutable after construction and O(k²), so sharded indexes
+// build it once and share it read-only across all shards.
+func buildNeighbors(disc *discretize.Discretization) [][]neighborEntry {
 	k := disc.NumClusters()
-	ix := &Index{
-		cfg:       cfg,
-		disc:      disc,
-		rides:     make(map[RideID]*Ride),
-		clusters:  make([]clusterList, k),
-		neighbors: make([][]neighborEntry, k),
-	}
+	neighbors := make([][]neighborEntry, k)
 	for c := 0; c < k; c++ {
 		row := make([]neighborEntry, 0, k)
 		for o := 0; o < k; o++ {
@@ -73,9 +74,21 @@ func New(disc *discretize.Discretization, cfg Config) (*Index, error) {
 			}
 			return row[i].Cluster < row[j].Cluster
 		})
-		ix.neighbors[c] = row
+		neighbors[c] = row
 	}
-	return ix, nil
+	return neighbors
+}
+
+// newWithNeighbors assembles an empty index around a prebuilt (possibly
+// shared) neighbor table.
+func newWithNeighbors(disc *discretize.Discretization, cfg Config, neighbors [][]neighborEntry) *Index {
+	return &Index{
+		cfg:       cfg,
+		disc:      disc,
+		rides:     make(map[RideID]*Ride),
+		clusters:  make([]clusterList, disc.NumClusters()),
+		neighbors: neighbors,
+	}
 }
 
 // Disc exposes the discretization the index was built over.
@@ -140,11 +153,14 @@ func (ix *Index) Remove(id RideID) bool {
 }
 
 // Reregister rebuilds a ride's cluster registrations after its route,
-// via-points or detour limit changed (booking confirmed).
+// via-points or detour limit changed (booking confirmed, cancellation).
+// It bumps the ride's revision counter: optimistic engine commits detect
+// concurrent mutations by comparing Rev.
 func (ix *Index) Reregister(r *Ride) error {
 	if _, ok := ix.rides[r.ID]; !ok {
 		return fmt.Errorf("index: ride %d not registered", r.ID)
 	}
+	r.Rev++
 	ix.unregister(r)
 	ix.register(r)
 	return nil
@@ -267,6 +283,9 @@ func (ix *Index) Advance(id RideID, pos int) error {
 	if pos >= len(r.Route) {
 		pos = len(r.Route) - 1
 	}
+	if pos != r.Progress {
+		r.Rev++ // progress invalidates in-flight optimistic bookings
+	}
 	r.Progress = pos
 
 	// Step 1: mark newly crossed pass-through entries.
@@ -324,16 +343,16 @@ func (ix *Index) PotentialRides(c int, t1, t2 float64, dst []RideID) []RideID {
 	if c < 0 || c >= len(ix.clusters) {
 		return dst
 	}
-	var entries []listEntry
+	l := &ix.clusters[c]
 	if ix.cfg.LinearWindowScan {
-		entries = ix.clusters[c].windowLinear(t1, t2, nil)
-	} else {
-		entries = ix.clusters[c].window(t1, t2, nil)
+		for _, e := range l.byID {
+			if e.ETA >= t1 && e.ETA <= t2 {
+				dst = append(dst, e.Ride)
+			}
+		}
+		return dst
 	}
-	for _, e := range entries {
-		dst = append(dst, e.Ride)
-	}
-	return dst
+	return l.windowIDs(t1, t2, dst)
 }
 
 // HasPotentialRide reports whether ride id is in cluster c's potential

@@ -98,6 +98,32 @@ func (l *clusterList) window(t1, t2 float64, dst []listEntry) []listEntry {
 	return dst
 }
 
+// windowIDs appends to dst the ride IDs with ETA in [t1, t2] (inclusive).
+// It is the hot-path variant of window: the binary search is inlined
+// (no sort.Search closure), the endpoints are range-checked first so an
+// empty or out-of-window list costs two comparisons, and no intermediate
+// entry slice is built. Searches call this once per (cluster, shard)
+// pair, so its constant factor multiplies by the shard count.
+func (l *clusterList) windowIDs(t1, t2 float64, dst []RideID) []RideID {
+	a := l.byETA
+	if t2 < t1 || len(a) == 0 || a[0].ETA > t2 || a[len(a)-1].ETA < t1 {
+		return dst
+	}
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid].ETA < t1 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for ; lo < len(a) && a[lo].ETA <= t2; lo++ {
+		dst = append(dst, a[lo].Ride)
+	}
+	return dst
+}
+
 // windowLinear is the ablation variant of window: a full scan that
 // ignores the sorted order. Benchmarks use it to quantify the value of
 // the dual sorted lists.

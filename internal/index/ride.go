@@ -10,8 +10,13 @@
 // when a ride is created and when a booking is confirmed, exactly as the
 // paper prescribes.
 //
-// The Index is not safe for concurrent use; the core engine wraps it with
-// a single reader–writer lock (searches share, mutations exclude).
+// A single Index is not safe for concurrent use. The core engine does
+// not guard it with one global lock; it partitions rides across a
+// Sharded set of lock-striped Index instances keyed by ride ID, so
+// searches take brief per-shard read locks and mutations exclude only
+// the one shard that owns the ride. Rides carry a revision counter
+// (Ride.Rev) that the engine's optimistic booking protocol compares to
+// detect concurrent mutation between snapshot and commit.
 package index
 
 import (
@@ -99,9 +104,43 @@ type Ride struct {
 	// passed. Tracking advances it; clusters behind it become obsolete.
 	Progress int
 
+	// Rev is the ride's revision counter, bumped on every committed
+	// mutation of booking-relevant state (route/via/budget/seats via
+	// Reregister, progress via Advance). The engine's optimistic booking
+	// protocol snapshots Rev under a read lock, computes the splice
+	// unlocked, and commits only if Rev is unchanged under the write
+	// lock — a changed Rev means the splice was computed against stale
+	// state and the booking retries.
+	Rev uint64
+
 	// Index registration state (maintained by Index).
 	pt      []ptEntry
 	support map[int32][]supRef
+}
+
+// Clone returns a deep copy of the ride: a snapshot that stays valid
+// (and race-free) after the engine releases the ride's shard lock.
+// Registration state is cloned too, so read-only helpers like
+// PassThroughClusters and ReachableClusters work on the copy.
+func (r *Ride) Clone() *Ride {
+	if r == nil {
+		return nil
+	}
+	c := *r
+	c.Route = append([]roadnet.NodeID(nil), r.Route...)
+	c.RouteETA = append([]float64(nil), r.RouteETA...)
+	c.Via = append([]ViaPoint(nil), r.Via...)
+	c.pt = append([]ptEntry(nil), r.pt...)
+	for i := range c.pt {
+		c.pt[i].Supported = append([]int32(nil), r.pt[i].Supported...)
+	}
+	if r.support != nil {
+		c.support = make(map[int32][]supRef, len(r.support))
+		for k, v := range r.support {
+			c.support[k] = append([]supRef(nil), v...)
+		}
+	}
+	return &c
 }
 
 // ptEntry is one pass-through cluster of one segment of the ride.

@@ -1,0 +1,206 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"xar/internal/discretize"
+)
+
+// DefaultShards is the shard count used when the caller passes 0. Ride
+// IDs are sequential, so id mod N stripes the fleet uniformly; 16 shards
+// keep write contention negligible up to dozens of cores while the empty
+// per-shard cluster arrays stay cheap.
+const DefaultShards = 16
+
+// Sharded stripes the ride index across N independently locked shards,
+// keyed by ride ID. Each shard is a complete Index (its own ride map and
+// cluster posting lists) restricted to the rides assigned to it; the
+// O(k²) cluster-neighbor table is built once and shared read-only by
+// every shard. A search takes each shard's read lock only while reading
+// that shard's posting lists; create/book/cancel/track lock exactly one
+// shard — so a booking's shortest-path splice never stalls searches on
+// the other N−1 stripes.
+//
+// Lock ordering: the engine never holds two shard locks at once (every
+// operation is single-shard; searches visit shards sequentially or from
+// independent workers, one lock each). ID allocation is a lock-free
+// atomic counter.
+type Sharded struct {
+	disc   *discretize.Discretization
+	cfg    Config
+	shards []Shard
+	nextID atomic.Int64
+}
+
+// Shard is one lock-striped slice of the ride population. The embedded
+// RWMutex guards Ix: callers take RLock for reads (posting-list windows,
+// support lookups, ride field reads) and Lock for mutations (insert,
+// remove, reregister, advance).
+type Shard struct {
+	sync.RWMutex
+	Ix *Index
+
+	// Pad each shard to its own cache line(s): neighboring shards' locks
+	// must not false-share under high core counts.
+	_ [32]byte
+}
+
+// NewSharded builds an empty sharded index with n shards (n ≤ 0 →
+// DefaultShards).
+func NewSharded(disc *discretize.Discretization, cfg Config, n int) (*Sharded, error) {
+	if cfg.AvgSpeed <= 0 {
+		return nil, fmt.Errorf("index: AvgSpeed must be positive, got %v", cfg.AvgSpeed)
+	}
+	if n <= 0 {
+		n = DefaultShards
+	}
+	neighbors := buildNeighbors(disc)
+	s := &Sharded{disc: disc, cfg: cfg, shards: make([]Shard, n)}
+	for i := range s.shards {
+		s.shards[i].Ix = newWithNeighbors(disc, cfg, neighbors)
+	}
+	return s, nil
+}
+
+// Disc exposes the discretization the index was built over.
+func (s *Sharded) Disc() *discretize.Discretization { return s.disc }
+
+// NumShards returns the stripe count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardOf maps a ride ID to its shard number.
+func (s *Sharded) ShardOf(id RideID) int {
+	return int(uint64(id) % uint64(len(s.shards)))
+}
+
+// Shard returns stripe i for direct lock + index access.
+func (s *Sharded) Shard(i int) *Shard { return &s.shards[i] }
+
+// ShardFor returns the stripe owning ride id.
+func (s *Sharded) ShardFor(id RideID) *Shard { return &s.shards[s.ShardOf(id)] }
+
+// NextID allocates a fresh ride ID (lock-free; IDs are sequential, so a
+// serial workload produces the same IDs a single Index would).
+func (s *Sharded) NextID() RideID { return RideID(s.nextID.Add(1)) }
+
+// NumRides sums the shard ride counts (each read under the shard's read
+// lock; the total is a consistent-enough monitoring number, not a
+// linearizable snapshot).
+func (s *Sharded) NumRides() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.RLock()
+		n += sh.Ix.NumRides()
+		sh.RUnlock()
+	}
+	return n
+}
+
+// Snapshot returns a deep copy of ride id (nil if unknown), taken under
+// the owning shard's read lock.
+func (s *Sharded) Snapshot(id RideID) *Ride {
+	sh := s.ShardFor(id)
+	sh.RLock()
+	defer sh.RUnlock()
+	return sh.Ix.Ride(id).Clone()
+}
+
+// View returns the read-only aggregate view (memory measurement,
+// invariant checking, diagnostics).
+func (s *Sharded) View() View { return View{s: s} }
+
+// View is a read-only window over a sharded index. Every method takes
+// the shard locks it needs, so a View is safe to use concurrently with
+// engine operations — unlike handing out the live *Index, which invited
+// unsynchronized mutation. Deep-size measurement (memsize.Of) walks the
+// structure without locks and remains quiescent-only.
+type View struct {
+	s *Sharded
+}
+
+// NumShards returns the stripe count.
+func (v View) NumShards() int { return v.s.NumShards() }
+
+// NumRides returns the active ride count.
+func (v View) NumRides() int { return v.s.NumRides() }
+
+// ShardLen returns the ride count of stripe i (the shard-occupancy
+// gauge's source).
+func (v View) ShardLen(i int) int {
+	sh := v.s.Shard(i)
+	sh.RLock()
+	defer sh.RUnlock()
+	return sh.Ix.NumRides()
+}
+
+// Rides calls f for every registered ride until f returns false, one
+// shard at a time under that shard's read lock. f must treat the ride as
+// read-only and must not call back into the index.
+func (v View) Rides(f func(*Ride) bool) {
+	for i := range v.s.shards {
+		sh := &v.s.shards[i]
+		sh.RLock()
+		stop := false
+		sh.Ix.Rides(func(r *Ride) bool {
+			if !f(r) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		sh.RUnlock()
+		if stop {
+			return
+		}
+	}
+}
+
+// Stats merges the per-shard occupancy summaries. Clusters reports the
+// discretization's cluster count once (not per shard); MaxListLen is the
+// largest posting list of any single shard.
+func (v View) Stats() Stats {
+	var out Stats
+	out.Clusters = v.s.disc.NumClusters()
+	for i := range v.s.shards {
+		sh := &v.s.shards[i]
+		sh.RLock()
+		st := sh.Ix.Stats()
+		sh.RUnlock()
+		out.Rides += st.Rides
+		out.ListEntries += st.ListEntries
+		out.SupportRecords += st.SupportRecords
+		out.PassThroughRuns += st.PassThroughRuns
+		if st.MaxListLen > out.MaxListLen {
+			out.MaxListLen = st.MaxListLen
+		}
+	}
+	return out
+}
+
+// CheckInvariants validates every shard's cross-structure invariants
+// plus the sharding invariant itself: each ride is registered in the
+// shard its ID maps to.
+func (v View) CheckInvariants() error {
+	for i := range v.s.shards {
+		sh := &v.s.shards[i]
+		sh.RLock()
+		err := sh.Ix.CheckInvariants()
+		if err == nil {
+			sh.Ix.Rides(func(r *Ride) bool {
+				if v.s.ShardOf(r.ID) != i {
+					err = fmt.Errorf("index: ride %d registered in shard %d, belongs to %d", r.ID, i, v.s.ShardOf(r.ID))
+					return false
+				}
+				return true
+			})
+		}
+		sh.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

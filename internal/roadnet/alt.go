@@ -1,7 +1,6 @@
 package roadnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -127,9 +126,9 @@ func (as *ALTSearcher) ShortestPath(source, target NodeID) SPResult {
 	h := func(v NodeID) float64 { return a.heuristic(v, target) }
 
 	s.relax(source, 0, InvalidNode)
-	heap.Push(&s.queue, pqItem{node: source, prio: h(source)})
+	s.queue.push(pqItem{node: source, prio: h(source)})
 	for s.queue.Len() > 0 {
-		it := heap.Pop(&s.queue).(pqItem)
+		it := s.queue.pop()
 		v := it.node
 		if v == target {
 			return SPResult{Dist: s.dist[v], Path: s.buildPath(v)}
@@ -140,7 +139,7 @@ func (as *ALTSearcher) ShortestPath(source, target NodeID) SPResult {
 		for _, e := range s.g.Out(v) {
 			nd := s.dist[v] + e.Length
 			if s.relax(e.To, nd, v) {
-				heap.Push(&s.queue, pqItem{node: e.To, prio: nd + h(e.To)})
+				s.queue.push(pqItem{node: e.To, prio: nd + h(e.To)})
 			}
 		}
 	}

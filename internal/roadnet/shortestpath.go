@@ -1,7 +1,6 @@
 package roadnet
 
 import (
-	"container/heap"
 	"math"
 
 	"xar/internal/geo"
@@ -15,18 +14,54 @@ type pqItem struct {
 	prio float64
 }
 
+// pq is a hand-rolled typed binary min-heap on prio. container/heap
+// would box every pqItem through interface{} (one allocation per push on
+// the Dijkstra/A* hot path); the typed version reuses one backing slice
+// across searches and allocates only when the slice grows.
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].prio < q[j].prio }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+func (q pq) Len() int { return len(q) }
+
+// push inserts it and sifts it up.
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].prio <= h[i].prio {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum-prio item.
+func (q *pq) pop() pqItem {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l].prio < h[small].prio {
+			small = l
+		}
+		if r < n && h[r].prio < h[small].prio {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
 }
 
 // SPResult is the outcome of a single-pair shortest-path search.
@@ -108,9 +143,9 @@ func (s *Searcher) ShortestPath(source, target NodeID) SPResult {
 	h := func(v NodeID) float64 { return geo.Haversine(s.g.Point(v), tp) }
 
 	s.relax(source, 0, InvalidNode)
-	heap.Push(&s.queue, pqItem{node: source, prio: h(source)})
+	s.queue.push(pqItem{node: source, prio: h(source)})
 	for s.queue.Len() > 0 {
-		it := heap.Pop(&s.queue).(pqItem)
+		it := s.queue.pop()
 		v := it.node
 		if v == target {
 			return SPResult{Dist: s.dist[v], Path: s.buildPath(v)}
@@ -121,7 +156,7 @@ func (s *Searcher) ShortestPath(source, target NodeID) SPResult {
 		for _, e := range s.g.Out(v) {
 			nd := s.dist[v] + e.Length
 			if s.relax(e.To, nd, v) {
-				heap.Push(&s.queue, pqItem{node: e.To, prio: nd + h(e.To)})
+				s.queue.push(pqItem{node: e.To, prio: nd + h(e.To)})
 			}
 		}
 	}
@@ -155,9 +190,9 @@ func (s *Searcher) bounded(source NodeID, radius float64, visit Visit, reverse b
 	}
 	s.reset()
 	s.relax(source, 0, InvalidNode)
-	heap.Push(&s.queue, pqItem{node: source, prio: 0})
+	s.queue.push(pqItem{node: source, prio: 0})
 	for s.queue.Len() > 0 {
-		it := heap.Pop(&s.queue).(pqItem)
+		it := s.queue.pop()
 		v := it.node
 		if it.prio > s.dist[v]+1e-9 {
 			continue
@@ -175,7 +210,7 @@ func (s *Searcher) bounded(source NodeID, radius float64, visit Visit, reverse b
 		for _, e := range edges {
 			nd := s.dist[v] + e.Length
 			if nd <= radius && s.relax(e.To, nd, v) {
-				heap.Push(&s.queue, pqItem{node: e.To, prio: nd})
+				s.queue.push(pqItem{node: e.To, prio: nd})
 			}
 		}
 	}

@@ -266,7 +266,8 @@ func TestTrackByGPS(t *testing.T) {
 	if tr.Arrived {
 		t.Fatal("mid-route GPS arrived")
 	}
-	if r.Progress == 0 {
+	// eng.Ride returns a snapshot; re-fetch to observe the advance.
+	if env.eng.Ride(1).Progress == 0 {
 		t.Fatal("GPS report did not advance the ride")
 	}
 }
