@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-telemetry bench-parallel-smoke
+.PHONY: all build vet test race bench-smoke bench-telemetry bench-tracing bench-parallel-smoke
 
 all: build vet test
 
@@ -19,12 +19,18 @@ race:
 # bench-smoke: one fast pass over the headline benchmarks — enough to
 # catch perf regressions in CI without regenerating every figure.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig4aSearchXAR$$|BenchmarkFig4bCreateXAR$$|BenchmarkSearchTelemetry' -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'BenchmarkFig4aSearchXAR$$|BenchmarkFig4bCreateXAR$$|BenchmarkSearchTelemetry|BenchmarkSearchTracing' -benchtime 100x .
 
 # bench-telemetry: the observability overhead comparison (off vs on)
 # backing the ≤5% search hot-path budget; see README "Observability".
 bench-telemetry:
 	$(GO) test -run '^$$' -bench 'BenchmarkSearchTelemetry' -benchtime 3s -count 4 .
+
+# bench-tracing: the request-tracing overhead comparison (off vs
+# head-sampled vs always-on) backing BENCH_tracing.json; see README
+# "Tracing".
+bench-tracing:
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchTracing' -benchtime 3s -count 4 .
 
 # bench-parallel-smoke: one iteration of each concurrent-engine
 # benchmark at every GOMAXPROCS step — verifies the parallel paths run,

@@ -447,6 +447,52 @@ func BenchmarkSearchTelemetry(b *testing.B) {
 	b.Run("on", func(b *testing.B) { run(b, telemetry.NewRegistry()) })
 }
 
+// BenchmarkSearchTracing quantifies the request-tracing overhead on the
+// same loaded search path: off (nil tracer — one nil check per op), the
+// head-sampling curve (1-in-16/32/64; the per-trace span cost amortizes
+// across unsampled calls, plus a cold-cache penalty the sparser tiers
+// pay per trace), and always-on (every search builds its full span
+// tree). Budgets: off within 5% of BenchmarkSearchTelemetry/off, and
+// the production default (1-in-64, xarserver -trace-sample) within 10%.
+func BenchmarkSearchTracing(b *testing.B) {
+	w := world(b)
+	run := func(b *testing.B, tr *telemetry.Tracer) {
+		ecfg := core.DefaultConfig()
+		ecfg.DefaultDetourLimit = w.Scale.DetourLimit
+		ecfg.Telemetry = telemetry.NewRegistry()
+		ecfg.Tracer = tr
+		eng, err := core.NewEngine(w.Disc, ecfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := &sim.XARSystem{Engine: eng}
+		offers, requests := w.SplitOffersRequests()
+		for _, o := range offers {
+			_, _ = sys.Create(sim.Offer{
+				Source: o.Pickup, Dest: o.Dropoff,
+				Departure: o.RequestTime, Seats: 4, DetourLimit: w.Scale.DetourLimit,
+			})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = sys.Search(benchRequest(w, requests, i), 0)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("head16", func(b *testing.B) {
+		run(b, telemetry.NewTracer(telemetry.TracerConfig{SampleRate: 16}))
+	})
+	b.Run("head32", func(b *testing.B) {
+		run(b, telemetry.NewTracer(telemetry.TracerConfig{SampleRate: 32}))
+	})
+	b.Run("head64", func(b *testing.B) {
+		run(b, telemetry.NewTracer(telemetry.TracerConfig{SampleRate: 64}))
+	})
+	b.Run("always", func(b *testing.B) {
+		run(b, telemetry.NewTracer(telemetry.TracerConfig{SampleRate: 1}))
+	})
+}
+
 // BenchmarkSearchThroughput measures sustained search QPS on a loaded
 // index — the headline capability for MMTP integration (≤50 ms per
 // enhanced search, §IX-B).

@@ -54,6 +54,8 @@ func main() {
 	prom := flag.String("prom", "", "after the run, dump the shared latency histograms in Prometheus text format to this file (\"-\" = stdout)")
 	parallel := flag.Int("parallel", 0, "run the concurrent mixed create/search/book workload with this many goroutines instead of figure replays (0 = off)")
 	parallelOps := flag.Int("parallel-ops", 0, "total operations for -parallel (0 → 20× -requests)")
+	traceOut := flag.String("trace-out", "", "dump the slowest XAR traces as JSON to this file")
+	traceTop := flag.Int("trace-top", 20, "how many slowest traces -trace-out keeps")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -76,6 +78,15 @@ func main() {
 		// for figure reproduction and serving.
 		w.Telemetry = telemetry.NewRegistry()
 	}
+	if *traceOut != "" {
+		// Head-sample at the production default under the high-volume
+		// replays; the slow side-ring still keeps every outlier past
+		// 5 ms, which is what -trace-out exists to capture.
+		w.Tracer = telemetry.NewTracer(telemetry.TracerConfig{
+			SampleRate:    64,
+			SlowThreshold: 5 * time.Millisecond,
+		})
+	}
 	log.Printf("world ready in %v: %d road nodes, %d landmarks, %d clusters (measured ε=%.0f m)",
 		time.Since(start).Round(time.Millisecond),
 		w.City.Graph.NumNodes(), len(w.Disc.Landmarks), w.Disc.NumClusters(), w.Disc.Epsilon())
@@ -93,6 +104,11 @@ func main() {
 		}
 		if *prom != "" {
 			if err := dumpProm(w.Telemetry, *prom); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *traceOut != "" {
+			if err := dumpTraces(w.Tracer, *traceOut, *traceTop); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -114,6 +130,25 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *traceOut != "" {
+		if err := dumpTraces(w.Tracer, *traceOut, *traceTop); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// dumpTraces writes the run's n slowest traces (full span trees) to path.
+func dumpTraces(tr *telemetry.Tracer, path string, n int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := telemetry.WriteSlowest(f, tr.Store(), n); err != nil {
+		return err
+	}
+	log.Printf("wrote %d slowest traces to %s (of %d retained)", n, path, tr.Store().Len())
+	return nil
 }
 
 // dumpProm writes the registry in Prometheus text format to path
@@ -150,6 +185,7 @@ func runParallel(w *experiments.World, workers, ops int) error {
 	cfg.DefaultDetourLimit = w.Scale.DetourLimit
 	cfg.IndexShards = shards
 	cfg.Telemetry = w.Telemetry
+	cfg.Tracer = w.Tracer
 	eng, err := core.NewEngine(w.Disc, cfg)
 	if err != nil {
 		return err

@@ -11,10 +11,12 @@
 //	    "earliest_departure": 28800, "latest_departure": 30600,
 //	    "walk_limit_m": 800}'
 //
-// Observability (see README "Observability"):
+// Observability (see README "Observability" and "Tracing"):
 //
 //	-access-log        structured per-request log on stderr
 //	-slow-ms 250       warn-log engine operations slower than 250 ms
+//	-trace-sample 64   head-sample 1-in-N requests into /v1/traces (0 disables)
+//	-trace-slow-ms 50  always keep traces slower than this
 //	-pprof             mount net/http/pprof under /debug/pprof/
 package main
 
@@ -46,6 +48,8 @@ func main() {
 	useALT := flag.Bool("alt", true, "accelerate shortest paths with ALT")
 	accessLog := flag.Bool("access-log", false, "emit a structured access-log record per request")
 	slowMS := flag.Float64("slow-ms", 250, "slow-operation log threshold in milliseconds (0 disables)")
+	traceSample := flag.Int("trace-sample", 64, "record 1-in-N requests as traces into /v1/traces (0 disables tracing; sampled incoming traceparents always record)")
+	traceSlowMS := flag.Float64("trace-slow-ms", 50, "always keep traces at least this slow, regardless of sampling")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (opt-in; exposes internals)")
 	flag.Parse()
 
@@ -64,9 +68,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// One tracer shared by engine and server: HTTP roots and bare engine
+	// spans land in the same ring, and /v1/traces serves both.
+	var tracer *telemetry.Tracer
+	if *traceSample > 0 {
+		tracer = telemetry.NewTracer(telemetry.TracerConfig{
+			SampleRate:    *traceSample,
+			SlowThreshold: time.Duration(*traceSlowMS * float64(time.Millisecond)),
+		})
+	}
+
 	ecfg := core.DefaultConfig()
 	ecfg.UseALTPaths = *useALT
 	ecfg.Telemetry = reg
+	ecfg.Tracer = tracer
 	ecfg.SlowOpThreshold = time.Duration(*slowMS * float64(time.Millisecond))
 	ecfg.SlowOpLogger = logger
 	eng, err := core.NewEngine(disc, ecfg)
@@ -78,6 +93,9 @@ func main() {
 		city.Graph.NumNodes(), len(disc.Landmarks), disc.NumClusters(), disc.Epsilon())
 
 	opts := []server.Option{server.WithTelemetry(reg)}
+	if tracer != nil {
+		opts = append(opts, server.WithTracer(tracer))
+	}
 	if *accessLog {
 		opts = append(opts, server.WithAccessLog(logger))
 	}

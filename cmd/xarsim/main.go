@@ -11,10 +11,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"xar/internal/experiments"
 	"xar/internal/sim"
+	"xar/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +33,8 @@ func main() {
 	lookToBook := flag.Int("looktobook", 1, "searches per booking decision")
 	walkLimit := flag.Float64("walk", 1000, "walking limit in meters")
 	detour := flag.Float64("detour", 2000, "detour limit in meters")
+	traceOut := flag.String("trace-out", "", "dump the slowest XAR traces as JSON to this file")
+	traceTop := flag.Int("trace-top", 20, "how many slowest traces -trace-out keeps")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -58,11 +62,22 @@ func main() {
 	cfg.DetourLimit = *detour
 
 	if *system == "xar" || *system == "both" {
+		if *traceOut != "" {
+			// Trace every replayed op; the ring keeps recent traffic and
+			// the slow side-ring guarantees the outliers survive the run.
+			w.Tracer = telemetry.NewTracer(telemetry.TracerConfig{
+				SampleRate:    1,
+				SlowThreshold: 5 * time.Millisecond,
+			})
+		}
 		eng, err := w.NewXAREngine()
 		if err != nil {
 			log.Fatal(err)
 		}
 		report(w, &sim.XARSystem{Engine: eng}, cfg)
+		if *traceOut != "" {
+			dumpTraces(*traceOut, w.Tracer, *traceTop)
+		}
 	}
 	if *system == "tshare" || *system == "both" {
 		eng, err := w.NewTShare(false)
@@ -100,4 +115,17 @@ func report(w *experiments.World, sys sim.System, cfg sim.Config) {
 		fmt.Printf("rider walking: %s\n", res.Walks.Summary("m"))
 	}
 	fmt.Printf("active rides at end: %d\n", sys.ActiveRides())
+}
+
+// dumpTraces writes the run's n slowest traces (full span trees) to path.
+func dumpTraces(path string, tr *telemetry.Tracer, n int) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := telemetry.WriteSlowest(f, tr.Store(), n); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d slowest traces to %s (of %d retained)", n, path, tr.Store().Len())
 }

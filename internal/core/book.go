@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"xar/internal/index"
 	"xar/internal/roadnet"
+	"xar/internal/telemetry"
 )
 
 // bookMaxAttempts bounds the optimistic-commit retry loop. Conflicts
@@ -38,11 +40,27 @@ const bookMaxAttempts = 4
 // rides on other shards — and searches everywhere — are never blocked by
 // the splice.
 func (e *Engine) Book(m Match, req Request) (Booking, error) {
+	return e.BookCtx(context.Background(), m, req)
+}
+
+// BookCtx is Book with trace propagation: each optimistic commit attempt
+// becomes a "book_attempt" span (its ≤4 shortest-path calls as
+// "path_search" children), and the booking span records how many commit
+// attempts were burned on revision conflicts — the trace-level twin of
+// xar_book_conflict_retries_total.
+func (e *Engine) BookCtx(ctx context.Context, m Match, req Request) (bk Booking, err error) {
 	if err := req.Validate(); err != nil {
 		return Booking{}, err
 	}
-	if e.tel != nil {
-		defer func(start time.Time) { e.tel.observeOp(opBook, time.Since(start)) }(time.Now())
+	ctx, span := e.tel.startOp(ctx, opBook)
+	if e.tel != nil || span != nil {
+		defer func(start time.Time) {
+			now := time.Now()
+			span.SetError(err)
+			// Observe before End: sealing recycles the trace record.
+			e.tel.observeOp(opBook, now.Sub(start), span)
+			span.EndAt(now)
+		}(time.Now())
 	}
 
 	// Reject unknown rides before anything else (kept first so the error
@@ -73,15 +91,27 @@ func (e *Engine) Book(m Match, req Request) (Booking, error) {
 	doNode := e.disc.Landmarks[doLM].Node
 
 	for attempt := 1; ; attempt++ {
-		bk, conflict, err := e.tryBook(m, puLM, doLM, puNode, doNode, walkSrc, walkDst)
+		actx, aspan := telemetry.ChildSpan(ctx, "book_attempt")
+		aspan.SetInt("attempt", int64(attempt))
+		b, conflict, berr := e.tryBook(actx, m, puLM, doLM, puNode, doNode, walkSrc, walkDst)
+		if conflict {
+			// An attribute, not a span error: a conflict that retries into
+			// success must not classify the whole trace as errored.
+			aspan.SetStr("outcome", "conflict")
+		} else {
+			aspan.SetError(berr)
+		}
+		aspan.End()
 		if !conflict {
-			return bk, err
+			span.SetInt("conflict_retries", int64(attempt-1))
+			return b, berr
 		}
 		e.m.bookConflictRetries.Add(1)
 		if e.tel != nil && e.tel.bookConflicts != nil {
 			e.tel.bookConflicts.Inc()
 		}
 		if attempt >= bookMaxAttempts {
+			span.SetInt("conflict_retries", int64(attempt))
 			return Booking{}, ErrNoLongerFeasible
 		}
 	}
@@ -91,7 +121,7 @@ func (e *Engine) Book(m Match, req Request) (Booking, error) {
 // splice unlocked, validate-and-commit under the write lock. conflict
 // reports that the ride mutated between snapshot and commit and the
 // caller should retry.
-func (e *Engine) tryBook(m Match, puLM, doLM int, puNode, doNode roadnet.NodeID, walkSrc, walkDst float64) (bk Booking, conflict bool, err error) {
+func (e *Engine) tryBook(ctx context.Context, m Match, puLM, doLM int, puNode, doNode roadnet.NodeID, walkSrc, walkDst float64) (bk Booking, conflict bool, err error) {
 	sh := e.ix.ShardFor(m.Ride)
 
 	// Phase 1 — snapshot: validate against current state under the read
@@ -148,7 +178,7 @@ func (e *Engine) tryBook(m Match, puLM, doLM int, puNode, doNode roadnet.NodeID,
 	estimate := e.refineDetourEstimate(shadow, sSeg, dSeg, puLM, doLM, fresh.DetourEstimate)
 
 	f := e.finder()
-	newRoute, newVia, spRuns, serr := e.spliceRoute(f, shadow, sSeg, dSeg, puNode, doNode)
+	newRoute, newVia, spRuns, serr := e.spliceRoute(ctx, f, shadow, sSeg, dSeg, puNode, doNode)
 	e.release(f)
 	if serr != nil {
 		return Booking{}, false, serr
@@ -276,14 +306,14 @@ func (m Match) dropoffSeg() int { return m.dropoffSegv }
 // spliceRoute builds the new route and via-point list for a pickup in
 // segment sSeg and a drop-off in segment dSeg (sSeg ≤ dSeg), running at
 // most four shortest-path searches (three when sSeg == dSeg) on the
-// caller-supplied finder. r may be a snapshot; only Route and Via are
-// read.
-func (e *Engine) spliceRoute(f pathFinder, r *index.Ride, sSeg, dSeg int, pu, do roadnet.NodeID) ([]roadnet.NodeID, []index.ViaPoint, int, error) {
+// caller-supplied finder; each becomes a "path_search" span of the
+// context's trace. r may be a snapshot; only Route and Via are read.
+func (e *Engine) spliceRoute(ctx context.Context, f pathFinder, r *index.Ride, sSeg, dSeg int, pu, do roadnet.NodeID) ([]roadnet.NodeID, []index.ViaPoint, int, error) {
 	sp := func(a, b roadnet.NodeID) ([]roadnet.NodeID, error) {
 		if a == b {
 			return []roadnet.NodeID{a}, nil
 		}
-		res := f.ShortestPath(a, b)
+		res := e.tracedShortestPath(ctx, f, a, b)
 		if !res.Reachable() {
 			return nil, ErrUnreachable
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,8 +18,21 @@ import (
 // The booking is identified by its pickup and drop-off nodes, as returned
 // in the Booking struct.
 func (e *Engine) CancelBooking(id index.RideID, pickup, dropoff roadnet.NodeID) error {
-	if e.tel != nil {
-		defer func(start time.Time) { e.tel.observeOp(opCancel, time.Since(start)) }(time.Now())
+	return e.CancelBookingCtx(context.Background(), id, pickup, dropoff)
+}
+
+// CancelBookingCtx is CancelBooking with trace propagation: the re-stitch
+// shortest paths become "path_search" spans of the context's trace.
+func (e *Engine) CancelBookingCtx(ctx context.Context, id index.RideID, pickup, dropoff roadnet.NodeID) (err error) {
+	ctx, span := e.tel.startOp(ctx, opCancel)
+	if e.tel != nil || span != nil {
+		defer func(start time.Time) {
+			now := time.Now()
+			span.SetError(err)
+			// Observe before End: sealing recycles the trace record.
+			e.tel.observeOp(opCancel, now.Sub(start), span)
+			span.EndAt(now)
+		}(time.Now())
 	}
 	// Cancellation is rare; it holds its ride's shard write lock for the
 	// whole re-stitch rather than running the optimistic protocol —
@@ -70,7 +84,7 @@ func (e *Engine) CancelBooking(id index.RideID, pickup, dropoff roadnet.NodeID) 
 			continue
 		}
 		e.m.shortestPaths.Add(1)
-		res := f.ShortestPath(keep[i-1].Node, keep[i].Node)
+		res := e.tracedShortestPath(ctx, f, keep[i-1].Node, keep[i].Node)
 		if !res.Reachable() {
 			e.release(f)
 			return ErrUnreachable

@@ -6,10 +6,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"xar/internal/discretize"
 	"xar/internal/index"
 	"xar/internal/roadnet"
+	"xar/internal/telemetry"
 )
 
 // concurrentEngine builds an engine for the stress tests with an
@@ -27,6 +29,13 @@ func concurrentEngine(t testing.TB, shards, workers int) *Engine {
 	cfg := DefaultConfig()
 	cfg.IndexShards = shards
 	cfg.SearchWorkers = workers
+	// Tracing on under -race: the span lifecycle (parallel shard fan-out
+	// ending spans on worker goroutines, ring-buffer inserts, sealing) is
+	// exactly the synchronization the stress test should exercise.
+	cfg.Tracer = telemetry.NewTracer(telemetry.TracerConfig{
+		SampleRate:    2,
+		SlowThreshold: time.Millisecond,
+	})
 	e, err := NewEngine(d, cfg)
 	if err != nil {
 		t.Fatal(err)

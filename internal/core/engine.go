@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -94,6 +95,15 @@ type Config struct {
 	// SlowOpLogger receives slow-operation records; nil with a non-zero
 	// threshold falls back to slog.Default().
 	SlowOpLogger *slog.Logger
+	// Tracer, when non-nil, records request-scoped span trees: each
+	// head-sampled engine operation becomes a trace whose spans cover the
+	// per-shard search fan-out, each optimistic-book attempt and each
+	// shortest-path call, stored in the tracer's ring buffer and served
+	// via /v1/traces. Slow and errored traces are always kept. Nil
+	// disables root minting, but the engine still records child spans
+	// into traces begun upstream (an HTTP middleware root in the
+	// context). See DESIGN.md §Tracing model.
+	Tracer *telemetry.Tracer
 	// IndexShards is the ride-index stripe count (0 →
 	// index.DefaultShards). Rides are partitioned by ID across
 	// independently locked shards; create/book/cancel/track lock one
@@ -276,13 +286,33 @@ func NewEngine(disc *discretize.Discretization, cfg Config) (*Engine, error) {
 	}
 	e.finders.New = func() any { return e.newFinder() }
 	e.scratchPool.New = func() any { return newSearchScratch() }
-	if cfg.Telemetry != nil || cfg.SlowOpThreshold > 0 {
-		e.tel = newEngineTelemetry(cfg.Telemetry, cfg.SearchSampleRate, cfg.SlowOpThreshold, cfg.SlowOpLogger)
+	if cfg.Telemetry != nil || cfg.SlowOpThreshold > 0 || cfg.Tracer != nil {
+		e.tel = newEngineTelemetry(cfg.Telemetry, cfg.Tracer, cfg.SearchSampleRate, cfg.SlowOpThreshold, cfg.SlowOpLogger)
 	}
 	if cfg.Telemetry != nil {
 		registerShardGauges(cfg.Telemetry, ix.View())
 	}
 	return e, nil
+}
+
+// tracedShortestPath runs one pooled shortest-path search under a
+// "path_search" span when the context's trace is recording; the span
+// carries the endpoints and the resulting distance, so a slow create /
+// book / cancel trace shows exactly which A*/ALT call dominated.
+// Without a recording trace this is one context lookup plus the search.
+func (e *Engine) tracedShortestPath(ctx context.Context, f pathFinder, a, b roadnet.NodeID) roadnet.SPResult {
+	_, span := telemetry.ChildSpan(ctx, "path_search")
+	res := f.ShortestPath(a, b)
+	if span != nil {
+		span.SetInt("from", int64(a))
+		span.SetInt("to", int64(b))
+		span.SetFloat("dist", res.Dist)
+		if !res.Reachable() {
+			span.SetErrorMsg("unreachable")
+		}
+		span.End()
+	}
+	return res
 }
 
 // finder checks a pathFinder out of the pool; release returns it. The
@@ -313,6 +343,13 @@ func (e *Engine) NumRides() int {
 // derives per-node ETAs from edge travel times, and indexes the ride's
 // pass-through and reachable clusters.
 func (e *Engine) CreateRide(offer RideOffer) (index.RideID, error) {
+	return e.CreateRideCtx(context.Background(), offer)
+}
+
+// CreateRideCtx is CreateRide with trace propagation: the operation and
+// its shortest-path call become spans of the context's trace (or of a
+// new head-sampled trace when Config.Tracer is set).
+func (e *Engine) CreateRideCtx(ctx context.Context, offer RideOffer) (id index.RideID, err error) {
 	if !offer.Source.Valid() || !offer.Dest.Valid() {
 		return 0, fmt.Errorf("xar: invalid offer coordinates")
 	}
@@ -330,8 +367,15 @@ func (e *Engine) CreateRide(offer RideOffer) (index.RideID, error) {
 	if detour < 0 {
 		return 0, fmt.Errorf("xar: negative detour limit %v", detour)
 	}
-	if e.tel != nil {
-		defer func(start time.Time) { e.tel.observeOp(opCreate, time.Since(start)) }(time.Now())
+	ctx, span := e.tel.startOp(ctx, opCreate)
+	if e.tel != nil || span != nil {
+		defer func(start time.Time) {
+			now := time.Now()
+			span.SetError(err)
+			// Observe before End: sealing recycles the trace record.
+			e.tel.observeOp(opCreate, now.Sub(start), span)
+			span.EndAt(now)
+		}(time.Now())
 	}
 
 	// Snap + route + ETAs touch only the immutable city/graph: no lock.
@@ -346,7 +390,7 @@ func (e *Engine) CreateRide(offer RideOffer) (index.RideID, error) {
 	}
 	e.m.shortestPaths.Add(1)
 	f := e.finder()
-	res := f.ShortestPath(srcNode, dstNode)
+	res := e.tracedShortestPath(ctx, f, srcNode, dstNode)
 	e.release(f)
 	if !res.Reachable() {
 		return 0, ErrUnreachable
@@ -374,7 +418,7 @@ func (e *Engine) CreateRide(offer RideOffer) (index.RideID, error) {
 	// lock, no shortest-path work inside it.
 	sh := e.ix.ShardFor(r.ID)
 	sh.Lock()
-	err := sh.Ix.Insert(r)
+	err = sh.Ix.Insert(r)
 	sh.Unlock()
 	if err != nil {
 		return 0, err
@@ -417,7 +461,7 @@ func (e *Engine) Ride(id index.RideID) *index.Ride {
 // CompleteRide removes a finished or cancelled ride from the system.
 func (e *Engine) CompleteRide(id index.RideID) bool {
 	if e.tel != nil {
-		defer func(start time.Time) { e.tel.observeOp(opComplete, time.Since(start)) }(time.Now())
+		defer func(start time.Time) { e.tel.observeOp(opComplete, time.Since(start), nil) }(time.Now())
 	}
 	sh := e.ix.ShardFor(id)
 	sh.Lock()

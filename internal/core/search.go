@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"xar/internal/geo"
 	"xar/internal/index"
+	"xar/internal/telemetry"
 )
 
 // Search implements the optimized two-step ride search of §VII. It never
@@ -37,23 +39,51 @@ import (
 // on at most one stripe. With Config.SearchWorkers > 0 the per-shard
 // work fans out over a worker pool (large fleets, otherwise idle CPUs).
 func (e *Engine) Search(req Request) ([]Match, error) {
+	return e.SearchCtx(context.Background(), req)
+}
+
+// SearchCtx is Search with trace propagation: when the context's trace
+// is recording (or Config.Tracer head-samples this call as a new root),
+// the search records a span tree — the side lookup plus one span per
+// index shard visited, each carrying its shard number and match count.
+// A trace-recorded search is also timed into the op histogram
+// regardless of the 1-in-N SearchSampleRate decision, so every trace
+// has a matching exemplar-capable observation; the finer per-stage and
+// per-candidate clocks stay gated on the metrics sample alone (a search
+// that is both sampled and traced gets stage timings as span
+// attributes too), so tracing adds no clock reads beyond its own spans.
+func (e *Engine) SearchCtx(ctx context.Context, req Request) (out []Match, err error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	// Searches are sampled (Config.SearchSampleRate): a traced search
+	// Searches are sampled (Config.SearchSampleRate): a timed search
 	// records the op histogram plus the per-stage breakdown below. The
 	// sampling sequence rides on the metrics counter the search already
 	// increments, so an unsampled search pays only a mask test.
 	n := e.m.searches.Add(1)
-	traced := e.tel != nil && uint32(n)&e.tel.sampleMask == 0
+	sampled := e.tel != nil && uint32(n)&e.tel.sampleMask == 0
+	_, span := e.tel.startOp(ctx, opSearch)
+	timed := sampled || span != nil
 	var start time.Time
-	if traced {
+	if span != nil {
+		start = span.StartTime() // the span already read the clock
+	} else if timed {
 		start = time.Now()
 	}
-	out, err := e.search(req, traced)
+	out, err = e.search(span, req, timed, sampled)
 	e.m.searchMatches.Add(uint64(len(out)))
-	if traced {
-		e.tel.observeOp(opSearch, time.Since(start))
+	if timed {
+		now := time.Now() // one read closes both the span and the op clock
+		if span != nil {
+			span.SetInt("matches", int64(len(out)))
+			span.SetError(err)
+		}
+		if e.tel != nil {
+			// Observe (and stamp the exemplar) before End: sealing
+			// recycles the trace record, so the span is not read after.
+			e.tel.observeOp(opSearch, now.Sub(start), span)
+		}
+		span.EndAt(now)
 	}
 	return out, err
 }
@@ -62,7 +92,12 @@ func (e *Engine) Search(req Request) ([]Match, error) {
 // k <= 0 means no limit. It mirrors the paper's Figure 5a experiment,
 // where the candidate retrieval cost of XAR is insensitive to k.
 func (e *Engine) SearchK(req Request, k int) ([]Match, error) {
-	ms, err := e.Search(req)
+	return e.SearchKCtx(context.Background(), req, k)
+}
+
+// SearchKCtx is SearchK with trace propagation.
+func (e *Engine) SearchKCtx(ctx context.Context, req Request, k int) ([]Match, error) {
+	ms, err := e.SearchCtx(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -85,6 +120,10 @@ type shardSearchResult struct {
 	matches          []Match
 	cand, final      time.Duration
 	walkPair, detour time.Duration
+	// end is the shard span's close instant (zero unless this shard
+	// recorded a span); the serial fan-out reuses it as the next shard
+	// span's start, halving the traced loop's clock reads.
+	end time.Time
 }
 
 // searchScratch holds the per-shard working set of one search worker:
@@ -114,28 +153,61 @@ func (s *searchScratch) reset() {
 	clear(s.r2)
 }
 
-func (e *Engine) search(req Request, traced bool) ([]Match, error) {
+// search runs the two-step lookup and fan-out. span is the operation's
+// span (nil when the call is not trace-recorded); fine reports the
+// metrics 1-in-N sampling decision, which alone gates the per-stage and
+// per-candidate clocks — exactly the pre-trace semantics. A
+// trace-recorded but metrics-unsampled search records its span tree and
+// the op histogram, nothing finer, keeping the traced hot path lean.
+func (e *Engine) search(span *telemetry.Span, req Request, timed, fine bool) ([]Match, error) {
+	// tel is the per-stage histogram sink — non-nil only for
+	// metrics-sampled searches.
 	var tel *engineTelemetry
-	if traced {
+	if fine {
 		tel = e.tel
-	}
-	var mark time.Time
-	if tel != nil {
-		mark = time.Now()
 	}
 
 	// Walkable-side resolution reads only the immutable discretization.
+	sideSpan := span.Child(stageSideLookup)
+	var mark time.Time
+	if sideSpan != nil {
+		mark = sideSpan.StartTime() // the span already read the clock
+	} else if timed {
+		mark = time.Now()
+	}
 	srcSide, err := e.walkableSide(req.Source, req.WalkLimit)
-	if err != nil {
-		return nil, err
+	if err == nil {
+		dstSide, derr := e.walkableSide(req.Dest, req.WalkLimit)
+		if derr != nil {
+			err = derr
+		} else {
+			// The side-lookup end instant doubles as the fan-out start.
+			var fanStart time.Time
+			if timed {
+				fanStart = time.Now()
+				if sideSpan != nil {
+					sideSpan.SetInt("src_clusters", int64(len(srcSide)))
+					sideSpan.SetInt("dst_clusters", int64(len(dstSide)))
+					sideSpan.EndAt(fanStart)
+				}
+				if tel != nil {
+					tel.stages[stageSideLookup].ObserveDuration(fanStart.Sub(mark))
+				}
+			}
+			return e.searchShards(span, req, srcSide, dstSide, fine, tel, fanStart)
+		}
 	}
-	dstSide, err := e.walkableSide(req.Dest, req.WalkLimit)
-	if err != nil {
-		return nil, err
+	if sideSpan != nil {
+		sideSpan.SetError(err)
+		sideSpan.End()
 	}
-	if tel != nil {
-		tel.stages[stageSideLookup].ObserveDuration(time.Since(mark))
-	}
+	return nil, err
+}
+
+// searchShards runs the per-shard fan-out (serial or over the worker
+// pool) and merges results; split from search so the side-lookup span
+// closes cleanly on the error paths above.
+func (e *Engine) searchShards(span *telemetry.Span, req Request, srcSide, dstSide []sideCandidate, fine bool, tel *engineTelemetry, fanStart time.Time) ([]Match, error) {
 
 	nsh := e.ix.NumShards()
 	var results []shardSearchResult
@@ -149,15 +221,21 @@ func (e *Engine) search(req Request, traced bool) ([]Match, error) {
 			scratch.results = make([]shardSearchResult, nsh)
 		}
 		results = scratch.results[:nsh]
+		// Serially, shard i's span ends exactly where shard i+1's begins,
+		// so each close instant feeds forward as the next start.
+		start := fanStart
 		for i := 0; i < nsh; i++ {
-			results[i] = e.searchShard(i, req, srcSide, dstSide, traced, scratch)
+			results[i] = e.searchShard(span, i, req, srcSide, dstSide, fine, scratch, start)
+			start = results[i].end
 		}
 		defer e.scratchPool.Put(scratch)
 	} else {
 		results = make([]shardSearchResult, nsh)
 		// Opt-in parallel candidate evaluation: workers claim shards off
 		// an atomic cursor; each shard is still processed under only its
-		// own read lock.
+		// own read lock. Per-shard spans end on worker goroutines — the
+		// trace record is designed for exactly that (one mutex, touched
+		// only at span end).
 		var cursor atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -171,7 +249,9 @@ func (e *Engine) search(req Request, traced bool) ([]Match, error) {
 					if i >= nsh {
 						return
 					}
-					results[i] = e.searchShard(i, req, srcSide, dstSide, traced, scratch)
+					// Workers interleave, so no end-to-start clock reuse:
+					// each shard span reads its own start.
+					results[i] = e.searchShard(span, i, req, srcSide, dstSide, fine, scratch, time.Time{})
 				}
 			}()
 		}
@@ -211,11 +291,38 @@ func (e *Engine) search(req Request, traced bool) ([]Match, error) {
 }
 
 // searchShard runs steps 1+2 and the final checks against one shard's
-// posting lists, under that shard's read lock only.
-func (e *Engine) searchShard(shard int, req Request, srcSide, dstSide []sideCandidate, traced bool, s *searchScratch) shardSearchResult {
-	var res shardSearchResult
+// posting lists, under that shard's read lock only. When the trace
+// records, the shard gets its own "search_shard" span carrying the
+// shard number and match count — the per-shard fan-out breakdown that
+// explains a straggling stripe; when the search is also metrics-sampled
+// (fine) the span additionally carries the candidate/final stage split.
+func (e *Engine) searchShard(parent *telemetry.Span, shard int, req Request, srcSide, dstSide []sideCandidate, fine bool, s *searchScratch, start time.Time) (res shardSearchResult) {
+	span := parent.ChildAt("search_shard", start)
 	var mark time.Time
-	if traced {
+	inFinal := false
+	if span != nil {
+		span.SetInt("shard", int64(shard))
+		defer func() {
+			// One clock read closes both the open stage clock and the
+			// span; res.end hands the instant forward to the serial loop.
+			now := time.Now()
+			if fine {
+				if inFinal {
+					res.final = now.Sub(mark)
+				} else {
+					res.cand = now.Sub(mark)
+				}
+				span.SetFloat("candidate_scan_s", res.cand.Seconds())
+				span.SetFloat("final_check_s", res.final.Seconds())
+			}
+			span.SetInt("matches", int64(len(res.matches)))
+			span.EndAt(now)
+			res.end = now
+		}()
+		if fine {
+			mark = span.StartTime() // the span already holds a start instant
+		}
+	} else if fine {
 		mark = time.Now()
 	}
 	sh := e.ix.Shard(shard)
@@ -235,7 +342,7 @@ func (e *Engine) searchShard(shard int, req Request, srcSide, dstSide []sideCand
 		}
 	}
 	if len(r1) == 0 {
-		if traced {
+		if span == nil && fine {
 			res.cand = time.Since(mark)
 		}
 		return res
@@ -258,10 +365,11 @@ func (e *Engine) searchShard(shard int, req Request, srcSide, dstSide []sideCand
 			}
 		}
 	}
-	if traced {
+	if fine {
 		now := time.Now()
 		res.cand = now.Sub(mark)
 		mark = now
+		inFinal = true
 	}
 
 	// Final checks on the intersection.
@@ -279,7 +387,7 @@ func (e *Engine) searchShard(shard int, req Request, srcSide, dstSide []sideCand
 			// passes; try to find any feasible pair cheaply by scanning
 			// the (short, sorted) walkable lists again.
 			var ok bool
-			if traced {
+			if fine {
 				t0 := time.Now()
 				src, dst, ok = bestWalkPair(ix, srcSide, dstSide, id, req)
 				res.walkPair += time.Since(t0)
@@ -292,7 +400,7 @@ func (e *Engine) searchShard(shard int, req Request, srcSide, dstSide []sideCand
 		}
 		var m Match
 		var ok bool
-		if traced {
+		if fine {
 			t0 := time.Now()
 			m, ok = checkDetourAndOrder(ix, r, src.cluster, dst.cluster)
 			res.detour += time.Since(t0)
@@ -306,7 +414,7 @@ func (e *Engine) searchShard(shard int, req Request, srcSide, dstSide []sideCand
 		m.WalkDest = dst.walk
 		res.matches = append(res.matches, m)
 	}
-	if traced {
+	if span == nil && fine {
 		res.final = time.Since(mark)
 	}
 	return res

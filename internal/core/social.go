@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -139,6 +140,13 @@ func (e *Engine) RankSocially(matches []Match, requester UserID, g *SocialGraph)
 // align with the requests; individual failures are reported in errs.
 // parallelism ≤ 0 uses one worker per request up to 8.
 func (e *Engine) SearchBatch(reqs []Request, k, parallelism int) (results [][]Match, errs []error) {
+	return e.SearchBatchCtx(context.Background(), reqs, k, parallelism)
+}
+
+// SearchBatchCtx is SearchBatch with trace propagation: every segment
+// search of the batch joins the context's trace (each as its own
+// "search" span), so one trace shows the whole MMTP fan-out.
+func (e *Engine) SearchBatchCtx(ctx context.Context, reqs []Request, k, parallelism int) (results [][]Match, errs []error) {
 	results = make([][]Match, len(reqs))
 	errs = make([]error, len(reqs))
 	if parallelism <= 0 {
@@ -160,7 +168,7 @@ func (e *Engine) SearchBatch(reqs []Request, k, parallelism int) (results [][]Ma
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = e.SearchK(reqs[i], k)
+				results[i], errs[i] = e.SearchKCtx(ctx, reqs[i], k)
 			}
 		}()
 	}
@@ -177,9 +185,21 @@ func (e *Engine) SearchBatch(reqs []Request, k, parallelism int) (results [][]Ma
 // advances the ride there. Reports that snap behind the current progress
 // are ignored (GPS jitter must not move a ride backwards). It reports
 // arrival at the destination.
-func (e *Engine) TrackPosition(id index.RideID, report geo.Point) (arrived bool, err error) {
-	if e.tel != nil {
-		defer func(start time.Time) { e.tel.observeOp(opTrack, time.Since(start)) }(time.Now())
+func (e *Engine) TrackPosition(id index.RideID, report geo.Point) (bool, error) {
+	return e.TrackPositionCtx(context.Background(), id, report)
+}
+
+// TrackPositionCtx is TrackPosition with trace propagation.
+func (e *Engine) TrackPositionCtx(ctx context.Context, id index.RideID, report geo.Point) (arrived bool, err error) {
+	_, span := e.tel.startOp(ctx, opTrack)
+	if e.tel != nil || span != nil {
+		defer func(start time.Time) {
+			now := time.Now()
+			span.SetError(err)
+			// Observe before End: sealing recycles the trace record.
+			e.tel.observeOp(opTrack, now.Sub(start), span)
+			span.EndAt(now)
+		}(time.Now())
 	}
 	sh := e.ix.ShardFor(id)
 	sh.Lock()

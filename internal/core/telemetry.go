@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"log/slog"
 	"strconv"
 	"time"
@@ -55,6 +56,11 @@ type engineTelemetry struct {
 	// unsampled search pays one mask test and a branch.
 	sampleMask uint32
 
+	// tracer mints request-scoped span trees (Config.Tracer). Nil when
+	// only aggregate metrics are wanted; the engine then still continues
+	// traces begun upstream (an HTTP root span in the context).
+	tracer *telemetry.Tracer
+
 	slowThresh time.Duration
 	slowLog    *slog.Logger
 }
@@ -64,7 +70,7 @@ type engineTelemetry struct {
 // unexposed registry (cost is identical, output is simply not scraped).
 // sampleRate is the 1-in-N search sampling rate, rounded up to a power
 // of two; 0 means DefaultSearchSampleRate, 1 times every search.
-func newEngineTelemetry(reg *telemetry.Registry, sampleRate int, slowThresh time.Duration, slowLog *slog.Logger) *engineTelemetry {
+func newEngineTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer, sampleRate int, slowThresh time.Duration, slowLog *slog.Logger) *engineTelemetry {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
@@ -79,6 +85,7 @@ func newEngineTelemetry(reg *telemetry.Registry, sampleRate int, slowThresh time
 		ops:        make(map[string]*telemetry.Histogram, 6),
 		stages:     make(map[string]*telemetry.Histogram, 5),
 		sampleMask: mask - 1,
+		tracer:     tracer,
 		slowThresh: slowThresh,
 		slowLog:    slowLog,
 	}
@@ -99,25 +106,62 @@ func newEngineTelemetry(reg *telemetry.Registry, sampleRate int, slowThresh time
 // registerShardGauges exposes the per-stripe ride occupancy of the
 // sharded index (xar_index_shard_rides, labeled shard=N). Uniform values
 // across shards confirm the ID-mod-N striping is balanced; a skewed
-// shard would concentrate lock contention. Each gauge read takes only
-// that shard's read lock at scrape time.
+// shard would concentrate lock contention. Every shard's series is
+// registered eagerly — a freshly started server reports all of them,
+// including the empty ones — and one scrape hook sweeps the current
+// counts out of the sharded index (each read takes only that shard's
+// read lock) before any exposition render.
 func registerShardGauges(reg *telemetry.Registry, v index.View) {
-	for i := 0; i < v.NumShards(); i++ {
-		reg.GaugeFunc("xar_index_shard_rides",
+	gauges := make([]*telemetry.Gauge, v.NumShards())
+	for i := range gauges {
+		gauges[i] = reg.Gauge("xar_index_shard_rides",
 			"Active rides per index shard (balanced values mean balanced lock striping).",
-			telemetry.L("shard", strconv.Itoa(i)),
-			func() float64 { return float64(v.ShardLen(i)) })
+			telemetry.L("shard", strconv.Itoa(i)))
 	}
+	refresh := func() {
+		for i, g := range gauges {
+			g.Set(float64(v.ShardLen(i)))
+		}
+	}
+	refresh()
+	reg.OnScrape(refresh)
+}
+
+// startOp opens the span for one engine operation: through the
+// configured tracer when there is one (continuing an upstream trace or
+// head-sampling a new root), else as a plain child of whatever trace the
+// context already carries. Nil-receiver-safe, so call sites need no
+// telemetry guard; the returned span is nil when nothing records.
+func (t *engineTelemetry) startOp(ctx context.Context, op string) (context.Context, *telemetry.Span) {
+	if t == nil || t.tracer == nil {
+		return telemetry.ChildSpan(ctx, op)
+	}
+	return t.tracer.StartSpan(ctx, op)
 }
 
 // observeOp records one whole-operation duration and emits the slow-op
-// log line when the configured threshold is crossed.
-func (t *engineTelemetry) observeOp(op string, d time.Duration) {
-	t.ops[op].ObserveDuration(d)
+// log line when the configured threshold is crossed. A non-nil span
+// stamps the histogram bucket with a trace-ID exemplar and the slow-op
+// record with the trace ID, cross-linking metrics, logs and traces.
+// Nil-receiver-safe.
+func (t *engineTelemetry) observeOp(op string, d time.Duration, span *telemetry.Span) {
+	if t == nil {
+		return
+	}
+	if span != nil {
+		t.ops[op].ObserveDurationExemplar(d, span.TraceID())
+	} else {
+		t.ops[op].ObserveDuration(d)
+	}
 	if t.slowThresh > 0 && d >= t.slowThresh && t.slowLog != nil {
-		t.slowLog.Warn("slow engine operation",
+		args := []any{
 			"op", op,
-			"duration_ms", float64(d)/float64(time.Millisecond),
-			"threshold_ms", float64(t.slowThresh)/float64(time.Millisecond))
+			"duration_ms", float64(d) / float64(time.Millisecond),
+			"threshold_ms", float64(t.slowThresh) / float64(time.Millisecond),
+		}
+		if span != nil {
+			args = append(args, "trace_id", span.TraceID().String())
+		}
+		t.slowLog.Warn("slow engine operation", args...)
 	}
 }

@@ -187,7 +187,7 @@ func TestSearchSampling(t *testing.T) {
 		t.Fatalf("Metrics.Searches = %d, want %d (sampling must not affect counters)", n, searches)
 	}
 	// Rates round up to a power of two; 5 → 8.
-	tel := newEngineTelemetry(nil, 5, 0, nil)
+	tel := newEngineTelemetry(nil, nil, 5, 0, nil)
 	if tel.sampleMask != 7 {
 		t.Fatalf("sampleMask for rate 5 = %d, want 7", tel.sampleMask)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"xar/internal/index"
@@ -12,9 +13,21 @@ import (
 // the ride from clusters it can no longer serve.
 //
 // It returns true when the ride has arrived at its destination.
-func (e *Engine) Track(id index.RideID, now float64) (arrived bool, err error) {
-	if e.tel != nil {
-		defer func(start time.Time) { e.tel.observeOp(opTrack, time.Since(start)) }(time.Now())
+func (e *Engine) Track(id index.RideID, now float64) (bool, error) {
+	return e.TrackCtx(context.Background(), id, now)
+}
+
+// TrackCtx is Track with trace propagation.
+func (e *Engine) TrackCtx(ctx context.Context, id index.RideID, now float64) (arrived bool, err error) {
+	_, span := e.tel.startOp(ctx, opTrack)
+	if e.tel != nil || span != nil {
+		defer func(start time.Time) {
+			now := time.Now()
+			span.SetError(err)
+			// Observe before End: sealing recycles the trace record.
+			e.tel.observeOp(opTrack, now.Sub(start), span)
+			span.EndAt(now)
+		}(time.Now())
 	}
 	sh := e.ix.ShardFor(id)
 	sh.Lock()

@@ -61,6 +61,10 @@ type World struct {
 	// figure harness records into the same latency histograms a live
 	// xarserver exposes (cmd/xarbench -prom wires this).
 	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records request-scoped span trees for the
+	// replayed operations (cmd/xarsim -trace-out / cmd/xarbench
+	// -trace-out wire this to dump the slowest traces).
+	Tracer *telemetry.Tracer
 }
 
 // BuildWorld generates the city, discretization (ε = Scale.Epsilon) and
@@ -116,6 +120,7 @@ func (w *World) NewXAREngine() (*core.Engine, error) {
 		cfg.Telemetry = w.Telemetry
 		cfg.SearchSampleRate = 1
 	}
+	cfg.Tracer = w.Tracer
 	return core.NewEngine(w.Disc, cfg)
 }
 

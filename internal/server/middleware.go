@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"log/slog"
 	"net/http"
 	"time"
@@ -61,16 +62,48 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 
 // instrument wraps a handler with the serving-side telemetry: in-flight
 // gauge, per-route latency histogram, status-class counters, response
-// bytes, and the optional structured access log.
+// bytes, request-scoped tracing, and the optional structured access log.
+//
+// Trace semantics: every request gets a trace ID — taken from a valid
+// incoming W3C traceparent, minted otherwise — and the ID is echoed in
+// the X-Xar-Trace-Id response header and the access-log line whether or
+// not the trace records. A root span (which makes the trace land in the
+// store and flow into the engine's child spans) opens when a tracer is
+// configured and either the incoming traceparent carries the sampled
+// flag or the tracer's own head sampler selects the request.
 func (s *Server) instrument(route string, next http.HandlerFunc) http.Handler {
 	ri := s.newRouteInstruments(route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
 		start := time.Now()
+
+		trace, parent, sampled, fromUpstream := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+		if !fromUpstream {
+			trace = telemetry.NewTraceID()
+		}
+		var span *telemetry.Span
+		if s.tracer != nil && ((fromUpstream && sampled) || s.tracer.Sample()) {
+			var ctx context.Context
+			ctx, span = s.tracer.StartRoot(r.Context(), route, trace, parent)
+			r = r.WithContext(ctx)
+		}
+		w.Header().Set("X-Xar-Trace-Id", trace.String())
+
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next(sw, r)
 		d := time.Since(start)
 		s.inflight.Add(-1)
+
+		if span != nil {
+			span.SetStr("method", r.Method)
+			span.SetStr("path", r.URL.Path)
+			span.SetInt("status", int64(sw.status))
+			span.SetInt("bytes", int64(sw.bytes))
+			if sw.status >= 500 {
+				span.SetErrorMsg(http.StatusText(sw.status))
+			}
+			span.End()
+		}
 
 		ri.duration.ObserveDuration(d)
 		if class := sw.status/100 - 2; class >= 0 && class < len(ri.byClass) {
@@ -87,6 +120,7 @@ func (s *Server) instrument(route string, next http.HandlerFunc) http.Handler {
 				slog.Float64("duration_ms", float64(d)/float64(time.Millisecond)),
 				slog.Int("bytes", sw.bytes),
 				slog.String("remote", r.RemoteAddr),
+				slog.String("trace_id", trace.String()),
 			)
 		}
 	})

@@ -17,10 +17,13 @@
 //	GET    /v1/metrics          engine counters
 //	GET    /v1/metrics/prom     full telemetry, Prometheus text format
 //	GET    /v1/metrics/json     full telemetry, JSON with percentiles
+//	GET    /v1/traces           recent traces (filter: op, min_ms, status)
+//	GET    /v1/traces/{id}      one trace as a span tree
 //	GET    /v1/healthz          liveness + uptime + engine counters
 //
 // Every route is wrapped in telemetry middleware: per-route request and
-// status-class counters, latency histograms, an in-flight gauge and an
+// status-class counters, latency histograms, an in-flight gauge,
+// request-scoped tracing (W3C traceparent in, X-Xar-Trace-Id out) and an
 // optional structured access log (see middleware.go).
 package server
 
@@ -48,6 +51,7 @@ type Server struct {
 	mux    *http.ServeMux
 
 	reg       *telemetry.Registry
+	tracer    *telemetry.Tracer
 	accessLog *slog.Logger
 	inflight  *telemetry.Gauge
 	started   time.Time
@@ -67,6 +71,16 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 // WithAccessLog emits one structured record per request to l.
 func WithAccessLog(l *slog.Logger) Option {
 	return func(s *Server) { s.accessLog = l }
+}
+
+// WithTracer enables request-scoped tracing: each head-sampled request
+// (or any request arriving with a sampled W3C traceparent) becomes a
+// trace rooted at its route, with the engine's per-shard search fan-out,
+// book attempts and shortest-path calls as child spans, browsable via
+// GET /v1/traces. Pass the same tracer the engine was configured with so
+// bare engine traces (sim, bench) and HTTP traces share one store.
+func WithTracer(tr *telemetry.Tracer) Option {
+	return func(s *Server) { s.tracer = tr }
 }
 
 // New builds a server. social may be nil (no social ranking).
@@ -97,6 +111,8 @@ func New(eng *core.Engine, social *core.SocialGraph, opts ...Option) *Server {
 	handle("GET /v1/metrics", "/v1/metrics", s.handleMetrics)
 	handle("GET /v1/metrics/prom", "/v1/metrics/prom", s.handleMetricsProm)
 	handle("GET /v1/metrics/json", "/v1/metrics/json", s.handleMetricsJSON)
+	handle("GET /v1/traces", "/v1/traces", s.handleTraces)
+	handle("GET /v1/traces/{id}", "/v1/traces/{id}", s.handleTraceByID)
 	handle("GET /v1/healthz", "/v1/healthz", s.handleHealth)
 	return s
 }
@@ -238,7 +254,7 @@ func (s *Server) handleCreateRide(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	id, err := s.eng.CreateRide(core.RideOffer{
+	id, err := s.eng.CreateRideCtx(r.Context(), core.RideOffer{
 		Source:      req.Source.point(),
 		Dest:        req.Dest.point(),
 		Departure:   req.Departure,
@@ -313,7 +329,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	matches, err := s.eng.SearchK(req.request(), req.K)
+	matches, err := s.eng.SearchKCtx(r.Context(), req.request(), req.K)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -375,7 +391,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	for i, sr := range req.Requests {
 		reqs[i] = sr.request()
 	}
-	results, errs := s.eng.SearchBatch(reqs, req.K, 0)
+	results, errs := s.eng.SearchBatchCtx(r.Context(), reqs, req.K, 0)
 	resp := BatchSearchResponse{Results: make([]BatchSearchResult, len(reqs))}
 	for i := range reqs {
 		if errs[i] != nil {
@@ -412,7 +428,7 @@ func (s *Server) handleBook(w http.ResponseWriter, r *http.Request) {
 		PickupCluster:  req.Match.PickupCluster,
 		DropoffCluster: req.Match.DropoffCluster,
 	}
-	bk, err := s.eng.Book(m, req.Request.request())
+	bk, err := s.eng.BookCtx(r.Context(), m, req.Request.request())
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -436,7 +452,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	err := s.eng.CancelBooking(index.RideID(req.RideID),
+	err := s.eng.CancelBookingCtx(r.Context(), index.RideID(req.RideID),
 		roadnet.NodeID(req.PickupNode), roadnet.NodeID(req.DropoffNode))
 	if err != nil {
 		writeErr(w, err)
@@ -454,9 +470,9 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 	var err error
 	switch {
 	case req.GPS != nil:
-		arrived, err = s.eng.TrackPosition(index.RideID(req.RideID), req.GPS.point())
+		arrived, err = s.eng.TrackPositionCtx(r.Context(), index.RideID(req.RideID), req.GPS.point())
 	case req.Now != nil:
-		arrived, err = s.eng.Track(index.RideID(req.RideID), *req.Now)
+		arrived, err = s.eng.TrackCtx(r.Context(), index.RideID(req.RideID), *req.Now)
 	default:
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "track needs now or gps"})
 		return

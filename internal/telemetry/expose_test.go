@@ -1,0 +1,312 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Exposition-format edge cases: label-value and HELP escaping, and the
+// exemplar suffix. Each test round-trips the rendered text through a
+// small line-format parser rather than string-matching the writer's own
+// output, so an escaping bug cannot cancel itself out.
+
+// parsedLine is one metric line as a scraper would see it.
+type parsedLine struct {
+	name   string
+	labels map[string]string
+	value  float64
+
+	exemplar       bool
+	exemplarLabels map[string]string
+	exemplarValue  float64
+	exemplarTS     float64
+}
+
+// parseMetricLine parses `name{k="v",…} value[ # {k="v"} value ts]`,
+// unescaping label values per the Prometheus text format (\\, \", \n).
+func parseMetricLine(t *testing.T, line string) parsedLine {
+	t.Helper()
+	p := parsedLine{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i >= 0 && rest[i] == '{' {
+		p.name = rest[:i]
+		var ok bool
+		p.labels, rest, ok = parseLabelSet(rest[i:])
+		if !ok {
+			t.Fatalf("bad label set in line %q", line)
+		}
+	} else {
+		j := strings.IndexByte(rest, ' ')
+		if j < 0 {
+			t.Fatalf("no value in line %q", line)
+		}
+		p.name, rest = rest[:j], rest[j:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	valStr, rest, _ := strings.Cut(rest, " ")
+	v, err := parseValue(valStr)
+	if err != nil {
+		t.Fatalf("bad value %q in line %q: %v", valStr, line, err)
+	}
+	p.value = v
+	rest = strings.TrimLeft(rest, " ")
+	if rest == "" {
+		return p
+	}
+	// Exemplar: `# {labels} value [ts]`.
+	if !strings.HasPrefix(rest, "# ") {
+		t.Fatalf("trailing garbage %q in line %q", rest, line)
+	}
+	p.exemplar = true
+	var ok bool
+	p.exemplarLabels, rest, ok = parseLabelSet(strings.TrimPrefix(rest, "# "))
+	if !ok {
+		t.Fatalf("bad exemplar label set in line %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		t.Fatalf("exemplar needs value [ts], got %q in line %q", rest, line)
+	}
+	if p.exemplarValue, err = parseValue(fields[0]); err != nil {
+		t.Fatalf("bad exemplar value in line %q: %v", line, err)
+	}
+	if len(fields) == 2 {
+		if p.exemplarTS, err = parseValue(fields[1]); err != nil {
+			t.Fatalf("bad exemplar timestamp in line %q: %v", line, err)
+		}
+	}
+	return p
+}
+
+// parseLabelSet consumes a `{k="v",…}` block, returning the unescaped
+// labels and the remainder of the line.
+func parseLabelSet(s string) (map[string]string, string, bool) {
+	if len(s) == 0 || s[0] != '{' {
+		return nil, s, false
+	}
+	out := map[string]string{}
+	i := 1
+	for {
+		if i < len(s) && s[i] == '}' {
+			return out, s[i+1:], true
+		}
+		j := strings.Index(s[i:], `="`)
+		if j < 0 {
+			return nil, s, false
+		}
+		name := s[i : i+j]
+		i += j + 2
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, s, false
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, s, false
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, s, false
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out[name] = val.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// findLine returns the first non-comment line whose name and label
+// subset match.
+func findLine(t *testing.T, text, name string, want map[string]string) parsedLine {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || !strings.HasPrefix(line, name) {
+			continue
+		}
+		p := parseMetricLine(t, line)
+		if p.name != name {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if p.labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return p
+		}
+	}
+	t.Fatalf("no line %s%v in exposition:\n%s", name, want, text)
+	return parsedLine{}
+}
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestLabelValueEscapingRoundTrip(t *testing.T) {
+	hostile := []string{
+		`plain`,
+		`has "quotes"`,
+		`back\slash`,
+		"new\nline",
+		`all three: \ " ` + "\n" + ` done`,
+		`trailing backslash \`,
+	}
+	r := NewRegistry()
+	for i, v := range hostile {
+		r.Counter("xar_escape_test_total", "escape test", L("v", v)).Add(uint64(i + 1))
+	}
+	text := render(t, r)
+	for i, v := range hostile {
+		p := findLine(t, text, "xar_escape_test_total", map[string]string{"v": v})
+		if p.value != float64(i+1) {
+			t.Errorf("label %q: value %g, want %d", v, p.value, i+1)
+		}
+	}
+	// Raw newlines must never survive into the body of any line.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "\r") {
+			t.Fatalf("carriage return leaked into %q", line)
+		}
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("xar_help_test_total", "line one\nline two \\ with backslash", nil).Inc()
+	text := render(t, r)
+	want := `# HELP xar_help_test_total line one\nline two \\ with backslash`
+	if !strings.Contains(text, want+"\n") {
+		t.Fatalf("HELP not escaped; exposition:\n%s", text)
+	}
+	if strings.Count(text, "\n") != strings.Count(strings.TrimRight(text, "\n"), "\n")+1 {
+		t.Fatal("unbalanced newlines")
+	}
+}
+
+func TestExemplarRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("xar_op_duration_seconds", "op latency", []float64{0.001, 0.01, 0.1}, L("op", "search"))
+	trace := NewTraceID()
+	h.ObserveDurationExemplar(5*time.Millisecond, trace)
+	h.ObserveDuration(2 * time.Millisecond) // plain observe must not disturb the exemplar
+
+	text := render(t, r)
+	p := findLine(t, text, "xar_op_duration_seconds_bucket", map[string]string{"op": "search", "le": "0.01"})
+	if p.value != 2 { // cumulative: both observations ≤ 10ms
+		t.Fatalf("bucket value = %g, want 2", p.value)
+	}
+	if !p.exemplar {
+		t.Fatalf("bucket line missing exemplar: %+v", p)
+	}
+	if got := p.exemplarLabels["trace_id"]; got != trace.String() {
+		t.Fatalf("exemplar trace_id = %q, want %q", got, trace)
+	}
+	if p.exemplarValue != 0.005 {
+		t.Fatalf("exemplar value = %g, want 0.005", p.exemplarValue)
+	}
+	if p.exemplarTS == 0 {
+		t.Fatal("exemplar missing timestamp")
+	}
+	if id, ok := ParseTraceID(p.exemplarLabels["trace_id"]); !ok || id != trace {
+		t.Fatal("exemplar trace_id does not parse back to the original ID")
+	}
+
+	// Buckets without a traced observation carry no exemplar.
+	p = findLine(t, text, "xar_op_duration_seconds_bucket", map[string]string{"op": "search", "le": "0.1"})
+	if p.exemplar {
+		t.Fatalf("untouched bucket has exemplar: %+v", p)
+	}
+}
+
+func TestExemplarZeroTraceIgnored(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.ObserveExemplar(0.5, TraceID{})
+	for i, e := range h.Exemplars() {
+		if e != nil {
+			t.Fatalf("bucket %d stamped by zero trace ID", i)
+		}
+	}
+	if h.Count() != 1 {
+		t.Fatal("zero-trace ObserveExemplar must still count the observation")
+	}
+}
+
+func TestExemplarLastWriterWins(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	first, second := NewTraceID(), NewTraceID()
+	h.ObserveExemplar(0.5, first)
+	h.ObserveExemplar(0.6, second)
+	ex := h.Exemplars()
+	if ex[0] == nil || ex[0].TraceID != second.String() {
+		t.Fatalf("exemplar = %+v, want last writer %s", ex[0], second)
+	}
+}
+
+func TestEveryLineParses(t *testing.T) {
+	// Whole-output sanity: every non-comment line of a realistic registry
+	// must parse under the line grammar, including +Inf buckets with
+	// exemplars.
+	r := NewRegistry()
+	r.Counter("c_total", "a counter", L("weird", `a"b\c`+"\nd")).Inc()
+	r.Gauge("g", "a gauge", nil).Set(3.5)
+	h := r.Histogram("h_seconds", "a histogram", []float64{0.1}, nil)
+	h.ObserveExemplar(5, NewTraceID()) // lands in +Inf
+	text := render(t, r)
+	n := 0
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parseMetricLine(t, line)
+		n++
+	}
+	if n < 5 {
+		t.Fatalf("parsed only %d lines:\n%s", n, text)
+	}
+	inf := findLine(t, text, "h_seconds_bucket", map[string]string{"le": "+Inf"})
+	if !inf.exemplar || inf.exemplarValue != 5 {
+		t.Fatalf("+Inf bucket exemplar = %+v", inf)
+	}
+	_ = fmt.Sprintf("%v", inf)
+}

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace-store sizing defaults.
+const (
+	// DefaultTraceCapacity is the normal ring's total capacity in traces.
+	// A trace is a few KB (spans × ~200 B), so the default store tops out
+	// around a few MB — bounded, allocation-recycling, restart-free.
+	DefaultTraceCapacity = 1024
+	// DefaultTraceStripes is the normal ring's lock-stripe count: inserts
+	// hash by trace ID across independent mutexes so concurrent request
+	// completions don't serialize on one lock.
+	DefaultTraceStripes = 8
+	// minSideRing is the floor for the slow/error rings' capacity.
+	minSideRing = 64
+)
+
+// TraceStore is a fixed-size, lock-striped ring buffer of finished
+// traces with two always-keep side rings:
+//
+//   - normal: head-sampled traffic, striped by trace ID; new traces
+//     overwrite the oldest in their stripe.
+//   - slow: traces over the tracer's SlowThreshold. Kept separately so
+//     a flood of fast requests can never evict the outliers — the whole
+//     point of keeping traces is explaining the p99.
+//   - error: traces whose any span failed, same reasoning.
+//
+// Reads (Get/List/Slowest) copy slice headers under each stripe's lock;
+// TraceData values are immutable after sealing, so handing out pointers
+// is safe.
+type TraceStore struct {
+	stripes []traceRing
+	slow    traceRing
+	errs    traceRing
+}
+
+// NewTraceStore builds a store with the given normal-ring capacity and
+// stripe count (0 → defaults). The slow and error rings each hold
+// capacity/4 (min 64).
+func NewTraceStore(capacity, stripes int) *TraceStore {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	if stripes <= 0 {
+		stripes = DefaultTraceStripes
+	}
+	if stripes > capacity {
+		stripes = capacity
+	}
+	side := capacity / 4
+	if side < minSideRing {
+		side = minSideRing
+	}
+	s := &TraceStore{stripes: make([]traceRing, stripes)}
+	per := capacity / stripes
+	if per < 1 {
+		per = 1
+	}
+	for i := range s.stripes {
+		s.stripes[i].init(per)
+	}
+	s.slow.init(side)
+	s.errs.init(side)
+	return s
+}
+
+// Add files a finished trace under the keep policy. slow is the tracer's
+// pre-computed SlowThreshold verdict (the store itself is
+// policy-agnostic about durations).
+func (s *TraceStore) Add(td *TraceData, slow bool) {
+	switch {
+	case td.Errored():
+		s.errs.add(td)
+	case slow:
+		s.slow.add(td)
+	default:
+		s.stripes[int(td.ID[15])%len(s.stripes)].add(td)
+	}
+}
+
+// Get returns the stored trace with the given ID.
+func (s *TraceStore) Get(id TraceID) (*TraceData, bool) {
+	if td := s.stripes[int(id[15])%len(s.stripes)].get(id); td != nil {
+		return td, true
+	}
+	if td := s.slow.get(id); td != nil {
+		return td, true
+	}
+	if td := s.errs.get(id); td != nil {
+		return td, true
+	}
+	return nil, false
+}
+
+// TraceFilter selects traces for List.
+type TraceFilter struct {
+	// Op keeps traces whose root is named Op — or that contain any span
+	// named Op, so `op=search` finds both a bare engine `search` root
+	// (sim, bench) and an HTTP `/v1/search` root with the engine span
+	// underneath.
+	Op string
+	// MinDuration keeps traces at least this long.
+	MinDuration time.Duration
+	// Status is "", "ok" or "error".
+	Status string
+	// Limit caps the result length (0 → 100).
+	Limit int
+}
+
+const defaultListLimit = 100
+
+// List returns matching traces, newest first.
+func (s *TraceStore) List(f TraceFilter) []*TraceData {
+	limit := f.Limit
+	if limit <= 0 {
+		limit = defaultListLimit
+	}
+	all := s.snapshot()
+	out := make([]*TraceData, 0, limit)
+	for _, td := range all {
+		if f.MinDuration > 0 && td.Duration < f.MinDuration {
+			continue
+		}
+		if f.Status == "error" && !td.Errored() {
+			continue
+		}
+		if f.Status == "ok" && td.Errored() {
+			continue
+		}
+		if f.Op != "" && td.Root != f.Op && !td.HasSpan(f.Op) {
+			continue
+		}
+		out = append(out, td)
+		if len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+// Slowest returns the n longest stored traces, longest first — the
+// shape `xarbench -trace-out` and `xarsim -trace-out` dump for offline
+// inspection.
+func (s *TraceStore) Slowest(n int) []*TraceData {
+	if n <= 0 {
+		return nil
+	}
+	all := s.snapshot()
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Duration > all[j].Duration })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Len returns the number of stored traces.
+func (s *TraceStore) Len() int {
+	n := s.slow.len() + s.errs.len()
+	for i := range s.stripes {
+		n += s.stripes[i].len()
+	}
+	return n
+}
+
+// snapshot collects every stored trace sorted newest-first.
+func (s *TraceStore) snapshot() []*TraceData {
+	var all []*TraceData
+	for i := range s.stripes {
+		all = s.stripes[i].appendTo(all)
+	}
+	all = s.slow.appendTo(all)
+	all = s.errs.appendTo(all)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Start.After(all[j].Start) })
+	return all
+}
+
+// traceRing is one fixed-capacity overwrite-oldest buffer.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []*TraceData
+	next int
+	full bool
+}
+
+func (r *traceRing) init(capacity int) { r.buf = make([]*TraceData, capacity) }
+
+func (r *traceRing) add(td *TraceData) {
+	r.mu.Lock()
+	r.buf[r.next] = td
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+func (r *traceRing) get(id TraceID) *TraceData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, td := range r.buf {
+		if td != nil && td.ID == id {
+			return td
+		}
+	}
+	return nil
+}
+
+func (r *traceRing) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+func (r *traceRing) appendTo(dst []*TraceData) []*TraceData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, td := range r.buf {
+		if td != nil {
+			dst = append(dst, td)
+		}
+	}
+	return dst
+}
