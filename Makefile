@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-telemetry bench-tracing bench-parallel-smoke
+.PHONY: all build vet test race bench-smoke bench-telemetry bench-tracing bench-recorder bench-parallel-smoke
 
 all: build vet test
 
@@ -19,7 +19,7 @@ race:
 # bench-smoke: one fast pass over the headline benchmarks — enough to
 # catch perf regressions in CI without regenerating every figure.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig4aSearchXAR$$|BenchmarkFig4bCreateXAR$$|BenchmarkSearchTelemetry|BenchmarkSearchTracing' -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'BenchmarkFig4aSearchXAR$$|BenchmarkFig4bCreateXAR$$|BenchmarkSearchTelemetry|BenchmarkSearchTracing|BenchmarkSearchRecorder' -benchtime 100x .
 
 # bench-telemetry: the observability overhead comparison (off vs on)
 # backing the ≤5% search hot-path budget; see README "Observability".
@@ -31,6 +31,12 @@ bench-telemetry:
 # "Tracing".
 bench-tracing:
 	$(GO) test -run '^$$' -bench 'BenchmarkSearchTracing' -benchtime 3s -count 4 .
+
+# bench-recorder: the flight-recorder overhead comparison (registry
+# alone vs a recorder snapshotting it at a 5 ms cadence) backing
+# BENCH_recorder.json; see OBSERVABILITY.md.
+bench-recorder:
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchRecorder' -benchtime 3s -count 4 .
 
 # bench-parallel-smoke: one iteration of each concurrent-engine
 # benchmark at every GOMAXPROCS step — verifies the parallel paths run,

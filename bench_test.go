@@ -493,6 +493,49 @@ func BenchmarkSearchTracing(b *testing.B) {
 	})
 }
 
+// BenchmarkSearchRecorder quantifies the flight recorder's effect on the
+// search hot path: the instrumented engine alone ("off") versus the same
+// engine while a recorder snapshots the registry concurrently at an
+// aggressive 5 ms cadence ("on" — 2000× the production 10 s default, an
+// upper bound on snapshot interference). The recorder reads the same
+// atomics the hot path writes but takes no locks the hot path touches,
+// so the budget is the usual ≤5%.
+func BenchmarkSearchRecorder(b *testing.B) {
+	w := world(b)
+	run := func(b *testing.B, withRecorder bool) {
+		reg := telemetry.NewRegistry()
+		ecfg := core.DefaultConfig()
+		ecfg.DefaultDetourLimit = w.Scale.DetourLimit
+		ecfg.Telemetry = reg
+		eng, err := core.NewEngine(w.Disc, ecfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if withRecorder {
+			rec := telemetry.NewRecorder(reg, telemetry.RecorderConfig{
+				Interval:  5 * time.Millisecond,
+				Retention: 10 * time.Second,
+			})
+			rec.Start()
+			defer rec.Stop()
+		}
+		sys := &sim.XARSystem{Engine: eng}
+		offers, requests := w.SplitOffersRequests()
+		for _, o := range offers {
+			_, _ = sys.Create(sim.Offer{
+				Source: o.Pickup, Dest: o.Dropoff,
+				Departure: o.RequestTime, Seats: 4, DetourLimit: w.Scale.DetourLimit,
+			})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = sys.Search(benchRequest(w, requests, i), 0)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkSearchThroughput measures sustained search QPS on a loaded
 // index — the headline capability for MMTP integration (≤50 ms per
 // enhanced search, §IX-B).

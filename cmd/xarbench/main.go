@@ -56,6 +56,7 @@ func main() {
 	parallelOps := flag.Int("parallel-ops", 0, "total operations for -parallel (0 → 20× -requests)")
 	traceOut := flag.String("trace-out", "", "dump the slowest XAR traces as JSON to this file")
 	traceTop := flag.Int("trace-top", 20, "how many slowest traces -trace-out keeps")
+	historyOut := flag.String("history-out", "", "record the run's telemetry on a 1s wall-clock cadence and write the time-series as JSON to this file")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -72,11 +73,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *prom != "" {
+	if *prom != "" || *historyOut != "" {
 		// The replays then record into the same histogram series a live
 		// xarserver exposes at /v1/metrics/prom — one telemetry source
 		// for figure reproduction and serving.
 		w.Telemetry = telemetry.NewRegistry()
+	}
+	var rec *telemetry.Recorder
+	if *historyOut != "" {
+		// Wall-clock cadence: figure replays run in real time, so a 1s
+		// tick captures how latency and throughput evolve over the run.
+		rec = telemetry.NewRecorder(w.Telemetry, telemetry.RecorderConfig{
+			Interval:  time.Second,
+			Retention: 2 * time.Hour,
+		})
+		rec.Start()
+		defer func() {
+			rec.Stop()
+			rec.TickNow()
+			if err := dumpHistory(rec, *historyOut); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 	if *traceOut != "" {
 		// Head-sample at the production default under the high-volume
@@ -148,6 +166,24 @@ func dumpTraces(tr *telemetry.Tracer, path string, n int) error {
 		return err
 	}
 	log.Printf("wrote %d slowest traces to %s (of %d retained)", n, path, tr.Store().Len())
+	return nil
+}
+
+// dumpHistory writes the recorder's full retained time-series as JSON.
+func dumpHistory(rec *telemetry.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dump := rec.History(telemetry.HistoryQuery{})
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dump); err != nil {
+		return err
+	}
+	log.Printf("wrote %d history snapshots (%d series) to %s",
+		dump.Snapshots, len(dump.Series), path)
 	return nil
 }
 

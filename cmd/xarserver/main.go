@@ -11,22 +11,33 @@
 //	    "earliest_departure": 28800, "latest_departure": 30600,
 //	    "walk_limit_m": 800}'
 //
-// Observability (see README "Observability" and "Tracing"):
+// Observability (see README "Observability" and OBSERVABILITY.md):
 //
-//	-access-log        structured per-request log on stderr
-//	-slow-ms 250       warn-log engine operations slower than 250 ms
-//	-trace-sample 64   head-sample 1-in-N requests into /v1/traces (0 disables)
-//	-trace-slow-ms 50  always keep traces slower than this
-//	-pprof             mount net/http/pprof under /debug/pprof/
+//	-access-log            structured per-request log on stderr
+//	-slow-ms 250           warn-log engine operations slower than 250 ms
+//	-trace-sample 64       head-sample 1-in-N requests into /v1/traces (0 disables)
+//	-trace-slow-ms 50      always keep traces slower than this
+//	-pprof                 mount net/http/pprof under /debug/pprof/
+//	-history-interval 10s  flight-recorder snapshot cadence (0 disables history+SLOs)
+//	-history-retention 1h  how much metric history /v1/metrics/history retains
+//	-slo                   evaluate burn-rate SLOs at /v1/slo and in /v1/healthz
+//	-slo-search-p95-ms 5   search-latency objective threshold
+//	-profile-on-page DIR   capture a CPU profile into DIR when an SLO pages
+//	-pprof-labels          label engine hot paths (op/stage/shard) for profilers
+//	-bundle-dir DIR        SIGQUIT writes a debug bundle tar.gz here (also GET /v1/debug/bundle)
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"xar/internal/core"
@@ -51,6 +62,13 @@ func main() {
 	traceSample := flag.Int("trace-sample", 64, "record 1-in-N requests as traces into /v1/traces (0 disables tracing; sampled incoming traceparents always record)")
 	traceSlowMS := flag.Float64("trace-slow-ms", 50, "always keep traces at least this slow, regardless of sampling")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (opt-in; exposes internals)")
+	historyInterval := flag.Duration("history-interval", 10*time.Second, "flight-recorder snapshot cadence for /v1/metrics/history (0 disables history and SLOs)")
+	historyRetention := flag.Duration("history-retention", time.Hour, "how much metric history the flight recorder retains")
+	enableSLO := flag.Bool("slo", true, "evaluate burn-rate SLOs (/v1/slo, /v1/healthz status); needs the flight recorder")
+	sloSearchP95 := flag.Float64("slo-search-p95-ms", 5, "search-latency SLO threshold in milliseconds (p95)")
+	profileOnPage := flag.String("profile-on-page", "", "capture a short CPU profile into this directory when an SLO enters page (empty disables)")
+	pprofLabels := flag.Bool("pprof-labels", false, "attach pprof labels (op/stage/shard) to engine hot paths; small per-op cost")
+	bundleDir := flag.String("bundle-dir", ".", "directory SIGQUIT-triggered debug bundles are written to")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -84,6 +102,7 @@ func main() {
 	ecfg.Tracer = tracer
 	ecfg.SlowOpThreshold = time.Duration(*slowMS * float64(time.Millisecond))
 	ecfg.SlowOpLogger = logger
+	ecfg.PprofLabels = *pprofLabels
 	eng, err := core.NewEngine(disc, ecfg)
 	if err != nil {
 		log.Fatal(err)
@@ -99,7 +118,57 @@ func main() {
 	if *accessLog {
 		opts = append(opts, server.WithAccessLog(logger))
 	}
+
+	// Flight recorder: in-process metric history, burn-rate SLOs, and the
+	// page-triggered CPU profiler all hang off the snapshot cadence.
+	if *historyInterval > 0 {
+		rec := telemetry.NewRecorder(reg, telemetry.RecorderConfig{
+			Interval:  *historyInterval,
+			Retention: *historyRetention,
+		})
+		rec.Start()
+		defer rec.Stop()
+		opts = append(opts, server.WithRecorder(rec))
+		if *enableSLO {
+			slo := telemetry.NewSLOEngine(rec, telemetry.SLOConfig{},
+				server.DefaultSLOs(time.Duration(*sloSearchP95*float64(time.Millisecond)))...)
+			opts = append(opts, server.WithSLO(slo))
+			if *profileOnPage != "" {
+				prof := telemetry.NewCPUProfiler(telemetry.CPUProfilerConfig{
+					Dir:  *profileOnPage,
+					Logf: log.Printf,
+				})
+				prof.AttachTo(slo)
+				opts = append(opts, server.WithCPUProfiler(prof))
+			}
+		}
+	} else if *enableSLO {
+		log.Printf("SLOs need the flight recorder; start with -history-interval > 0 to enable them")
+	}
 	srv := server.New(eng, core.NewSocialGraph(), opts...)
+
+	// SIGQUIT writes a one-shot diagnostic bundle instead of Go's default
+	// stack-dump-and-exit — the flight recorder's goroutine dump is in the
+	// bundle, and the process keeps serving.
+	go func() {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		for range quit {
+			path := filepath.Join(*bundleDir,
+				fmt.Sprintf("xar-debug-%d.tar.gz", time.Now().Unix()))
+			f, err := os.Create(path)
+			if err != nil {
+				log.Printf("SIGQUIT bundle: %v", err)
+				continue
+			}
+			if err := srv.WriteDebugBundle(f); err != nil {
+				log.Printf("SIGQUIT bundle: %v", err)
+			} else {
+				log.Printf("SIGQUIT: wrote debug bundle to %s", path)
+			}
+			f.Close()
+		}
+	}()
 
 	handler := http.Handler(srv.Handler())
 	if *enablePprof {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +36,8 @@ func main() {
 	detour := flag.Float64("detour", 2000, "detour limit in meters")
 	traceOut := flag.String("trace-out", "", "dump the slowest XAR traces as JSON to this file")
 	traceTop := flag.Int("trace-top", 20, "how many slowest traces -trace-out keeps")
+	historyOut := flag.String("history-out", "", "record the XAR replay's telemetry on the simulated clock and write the time-series as JSON to this file (regenerates the latency-over-time curves behind figures 3a-3d)")
+	historyInterval := flag.Float64("history-interval", 60, "simulated seconds between -history-out snapshots")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -70,13 +73,36 @@ func main() {
 				SlowThreshold: 5 * time.Millisecond,
 			})
 		}
+		xcfg := cfg
+		var rec *telemetry.Recorder
+		if *historyOut != "" {
+			// The replay records into sim-level histograms and the
+			// recorder ticks on simulated time (trip request stamps), so
+			// retention is sized to the stream's simulated span — a
+			// multi-hour demand day fits regardless of replay speed.
+			reg := telemetry.NewRegistry()
+			interval := time.Duration(*historyInterval * float64(time.Second))
+			span := time.Duration(0)
+			if n := len(w.Trips); n > 0 {
+				span = time.Duration((w.Trips[n-1].RequestTime - w.Trips[0].RequestTime) * float64(time.Second))
+			}
+			rec = telemetry.NewRecorder(reg, telemetry.RecorderConfig{
+				Interval:  interval,
+				Retention: span + 3*interval,
+			})
+			xcfg.Telemetry = reg
+			xcfg.Recorder = rec
+		}
 		eng, err := w.NewXAREngine()
 		if err != nil {
 			log.Fatal(err)
 		}
-		report(w, &sim.XARSystem{Engine: eng}, cfg)
+		report(w, &sim.XARSystem{Engine: eng}, xcfg)
 		if *traceOut != "" {
 			dumpTraces(*traceOut, w.Tracer, *traceTop)
+		}
+		if rec != nil {
+			dumpHistory(*historyOut, rec)
 		}
 	}
 	if *system == "tshare" || *system == "both" {
@@ -128,4 +154,21 @@ func dumpTraces(path string, tr *telemetry.Tracer, n int) {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %d slowest traces to %s (of %d retained)", n, path, tr.Store().Len())
+}
+
+// dumpHistory writes the recorder's full retained time-series as JSON.
+func dumpHistory(path string, rec *telemetry.Recorder) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	dump := rec.History(telemetry.HistoryQuery{})
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dump); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d history snapshots (%d series) to %s",
+		dump.Snapshots, len(dump.Series), path)
 }

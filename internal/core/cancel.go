@@ -30,7 +30,7 @@ func (e *Engine) CancelBookingCtx(ctx context.Context, id index.RideID, pickup, 
 			now := time.Now()
 			span.SetError(err)
 			// Observe before End: sealing recycles the trace record.
-			e.tel.observeOp(opCancel, now.Sub(start), span)
+			e.tel.observeOp(opCancel, now.Sub(start), span, err)
 			span.EndAt(now)
 		}(time.Now())
 	}

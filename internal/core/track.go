@@ -25,7 +25,7 @@ func (e *Engine) TrackCtx(ctx context.Context, id index.RideID, now float64) (ar
 			now := time.Now()
 			span.SetError(err)
 			// Observe before End: sealing recycles the trace record.
-			e.tel.observeOp(opTrack, now.Sub(start), span)
+			e.tel.observeOp(opTrack, now.Sub(start), span, err)
 			span.EndAt(now)
 		}(time.Now())
 	}

@@ -1,0 +1,326 @@
+package server
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"xar/internal/core"
+	"xar/internal/discretize"
+	"xar/internal/roadnet"
+	"xar/internal/telemetry"
+)
+
+// recorderEnv is a testEnv with the full flight-recorder stack wired:
+// shared registry, tracer, recorder (manual ticking), SLO engine.
+type recorderEnv struct {
+	*testEnv
+	reg *telemetry.Registry
+	rec *telemetry.Recorder
+	slo *telemetry.SLOEngine
+	now float64
+}
+
+func newRecorderEnv(t testing.TB) *recorderEnv {
+	t.Helper()
+	city, err := roadnet.GenerateCity(roadnet.DefaultCityConfig(24, 14, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := discretize.Build(city, discretize.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(telemetry.TracerConfig{SampleRate: 1})
+	cfg := core.DefaultConfig()
+	cfg.Telemetry = reg
+	cfg.Tracer = tracer
+	eng, err := core.NewEngine(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.NewRecorder(reg, telemetry.RecorderConfig{
+		Interval:  10 * time.Second,
+		Retention: time.Hour,
+	})
+	slo := telemetry.NewSLOEngine(rec, telemetry.SLOConfig{},
+		DefaultSLOs(10*time.Millisecond)...)
+	s := httptest.NewServer(New(eng, core.NewSocialGraph(),
+		WithTelemetry(reg), WithTracer(tracer),
+		WithRecorder(rec), WithSLO(slo)).Handler())
+	t.Cleanup(s.Close)
+	return &recorderEnv{
+		testEnv: &testEnv{srv: s, eng: eng, city: city},
+		reg:     reg, rec: rec, slo: slo,
+		now: 100_000,
+	}
+}
+
+// tick advances 10s of simulated time after recording n search
+// observations of d each.
+func (env *recorderEnv) tick(n int, d time.Duration) {
+	h := telemetry.OpDuration(env.reg, "search")
+	for i := 0; i < n; i++ {
+		h.ObserveDuration(d)
+	}
+	env.rec.TickAt(env.now)
+	env.now += 10
+}
+
+// TestMetricsHistoryEndpoint drives ≥30 minutes of simulated load
+// through the recorder and checks the endpoint serves windowed rates and
+// rolling quantiles over it — acceptance criterion 3, first half.
+func TestMetricsHistoryEndpoint(t *testing.T) {
+	env := newRecorderEnv(t)
+	// 35 minutes at 10s ticks: fast phase, then a slow phase the rolling
+	// quantiles must resolve.
+	for i := 0; i < 180; i++ { // 30 min healthy
+		env.tick(50, 500*time.Microsecond)
+	}
+	for i := 0; i < 30; i++ { // +5 min degraded
+		env.tick(50, 50*time.Millisecond)
+	}
+
+	var dump telemetry.HistoryDump
+	code := env.do(t, "GET",
+		"/v1/metrics/history?name=xar_op_duration_seconds&window_s=300", nil, &dump)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if dump.Snapshots < 180 {
+		t.Fatalf("snapshots = %d, want ≥ 180 (30 min at 10s)", dump.Snapshots)
+	}
+	var search *telemetry.HistorySeries
+	for i := range dump.Series {
+		if dump.Series[i].Labels["op"] == "search" {
+			search = &dump.Series[i]
+		}
+	}
+	if search == nil {
+		t.Fatal("no op=search series in history")
+	}
+	if len(search.Points) < 180 {
+		t.Fatalf("points = %d, want ≥ 180", len(search.Points))
+	}
+	span := search.Points[len(search.Points)-1].Unix - search.Points[0].Unix
+	if span < 30*60 {
+		t.Fatalf("history spans %.0fs, want ≥ 1800s", span)
+	}
+	// Windowed rate: 50 obs / 10s = 5/s under a steady load.
+	mid := search.Points[100]
+	if mid.Rate == nil || *mid.Rate < 4.5 || *mid.Rate > 5.5 {
+		t.Fatalf("mid-history rate = %v, want ≈5/s", mid.Rate)
+	}
+	// Rolling p95 resolves the phase change: early windows ≈0.5ms, the
+	// final window ≈50ms.
+	early, last := search.Points[100], search.Points[len(search.Points)-1]
+	if early.P95 == nil || *early.P95 > 0.005 {
+		t.Fatalf("healthy-phase p95 = %v, want ≈0.0005", early.P95)
+	}
+	if last.P95 == nil || *last.P95 < 0.01 {
+		t.Fatalf("degraded-phase p95 = %v, want ≈0.05", last.P95)
+	}
+
+	// Unfiltered query also serves HTTP and runtime series.
+	code = env.do(t, "GET", "/v1/metrics/history", nil, &dump)
+	if code != http.StatusOK || len(dump.Series) < 2 {
+		t.Fatalf("unfiltered history: status %d, %d series", code, len(dump.Series))
+	}
+}
+
+func TestMetricsHistoryValidation(t *testing.T) {
+	env := newRecorderEnv(t)
+	for _, q := range []string{
+		"?window_s=potato", "?window_s=-5", "?window_s=0", "?window_s=NaN",
+		"?since_s=abc", "?max_points=0", "?max_points=-1", "?max_points=1.5",
+	} {
+		if code := env.do(t, "GET", "/v1/metrics/history"+q, nil, nil); code != http.StatusBadRequest {
+			t.Errorf("GET /v1/metrics/history%s = %d, want 400", q, code)
+		}
+	}
+	// Absent recorder → 404.
+	bare := newTestEnv(t)
+	if code := bare.do(t, "GET", "/v1/metrics/history", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("recorder-less history = %d, want 404", code)
+	}
+}
+
+// TestSLOTransitionsToPage injects a latency spike and watches /v1/slo
+// and /v1/healthz move ok → page — acceptance criterion 3, second half.
+func TestSLOTransitionsToPage(t *testing.T) {
+	env := newRecorderEnv(t)
+
+	// 31 min healthy: fills both burn windows.
+	for i := 0; i < 186; i++ {
+		env.tick(50, 500*time.Microsecond)
+	}
+	var slo SLOResponse
+	if code := env.do(t, "GET", "/v1/slo", nil, &slo); code != http.StatusOK {
+		t.Fatalf("slo status %d", code)
+	}
+	if slo.Status != "ok" {
+		t.Fatalf("pre-spike SLO status = %q, want ok (%+v)", slo.Status, slo.Objectives)
+	}
+	var h HealthResponse
+	env.do(t, "GET", "/v1/healthz", nil, &h)
+	if h.Status != "ok" {
+		t.Fatalf("pre-spike health = %q, want ok", h.Status)
+	}
+
+	// Spike: every search lands at 100ms, 10× past the 10ms objective.
+	for i := 0; i < 18; i++ { // 3 minutes
+		env.tick(50, 100*time.Millisecond)
+	}
+	if code := env.do(t, "GET", "/v1/slo", nil, &slo); code != http.StatusOK {
+		t.Fatalf("slo status %d", code)
+	}
+	if slo.Status != "page" {
+		t.Fatalf("post-spike SLO status = %q, want page (%+v)", slo.Status, slo.Objectives)
+	}
+	found := false
+	for _, o := range slo.Objectives {
+		if o.Name == "search-p95" {
+			found = true
+			if o.State.String() != "page" {
+				t.Fatalf("search-p95 state = %v, want page (burn short=%v long=%v)",
+					o.State, o.BurnShort, o.BurnLong)
+			}
+			if o.BurnShort < 10 {
+				t.Fatalf("burn short = %v, want ≥ 10", o.BurnShort)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no search-p95 objective in /v1/slo")
+	}
+	env.do(t, "GET", "/v1/healthz", nil, &h)
+	if h.Status != "page" {
+		t.Fatalf("post-spike health = %q, want page", h.Status)
+	}
+
+	// SLO-less server keeps the static ok and 404s /v1/slo.
+	bare := newTestEnv(t)
+	if code := bare.do(t, "GET", "/v1/slo", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("slo-less /v1/slo = %d, want 404", code)
+	}
+}
+
+// TestDebugBundle exercises GET /v1/debug/bundle end-to-end: real
+// traffic, then untar and verify every expected member — acceptance
+// criterion 5.
+func TestDebugBundle(t *testing.T) {
+	env := newRecorderEnv(t)
+	src, dst := env.corners()
+
+	// Real traffic so traces and metrics have content.
+	var cr CreateRideResponse
+	if code := env.do(t, "POST", "/v1/rides", CreateRideRequest{
+		Source: src, Dest: dst, Departure: 1000, DetourLimit: 2500,
+	}, &cr); code != http.StatusCreated {
+		t.Fatalf("create status %d", code)
+	}
+	var sr SearchResponse
+	env.do(t, "POST", "/v1/search", SearchRequest{
+		Source: src, Dest: dst, Earliest: 0, Latest: 7200, WalkLimit: 900,
+	}, &sr)
+	// An engine-level failure (unknown ride) marks its trace as errored.
+	env.do(t, "POST", "/v1/bookings", BookRequest{
+		Match: MatchJSON{RideID: 999999},
+		Request: SearchRequest{
+			Source: src, Dest: dst, Earliest: 0, Latest: 7200, WalkLimit: 900,
+		},
+	}, nil)
+	env.tick(10, time.Millisecond)
+	env.tick(10, time.Millisecond)
+
+	resp, err := http.Get(env.srv.URL + "/v1/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bundle status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/gzip" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := map[string][]byte{}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[hdr.Name] = b
+	}
+
+	for _, want := range []string{
+		"config.json", "slo.json", "history.json", "metrics.prom",
+		"shards.json", "traces_slowest.json", "traces_errors.json",
+		"goroutine.pprof", "goroutines.txt", "heap.pprof",
+	} {
+		if len(members[want]) == 0 {
+			t.Errorf("bundle member %s missing or empty", want)
+		}
+	}
+
+	// Member sanity: config carries the world, slo parses with states,
+	// history holds the ticks, traces include the error trace.
+	var cfg map[string]any
+	if err := json.Unmarshal(members["config.json"], &cfg); err != nil {
+		t.Fatalf("config.json: %v", err)
+	}
+	if cfg["index_shards"].(float64) < 1 || cfg["road_nodes"].(float64) < 100 {
+		t.Fatalf("config.json implausible: %v", cfg)
+	}
+	var slo SLOResponse
+	if err := json.Unmarshal(members["slo.json"], &slo); err != nil {
+		t.Fatalf("slo.json: %v", err)
+	}
+	if len(slo.Objectives) != 3 {
+		t.Fatalf("slo.json objectives = %d, want 3", len(slo.Objectives))
+	}
+	var hist telemetry.HistoryDump
+	if err := json.Unmarshal(members["history.json"], &hist); err != nil {
+		t.Fatalf("history.json: %v", err)
+	}
+	if hist.Snapshots != 2 {
+		t.Fatalf("history.json snapshots = %d, want 2", hist.Snapshots)
+	}
+	var errTraces TracesResponse
+	if err := json.Unmarshal(members["traces_errors.json"], &errTraces); err != nil {
+		t.Fatalf("traces_errors.json: %v", err)
+	}
+	if len(errTraces.Traces) == 0 {
+		t.Fatal("traces_errors.json has no traces despite a failed booking")
+	}
+	var shards map[string]any
+	if err := json.Unmarshal(members["shards.json"], &shards); err != nil {
+		t.Fatalf("shards.json: %v", err)
+	}
+	if shards["total_rides"].(float64) != 1 {
+		t.Fatalf("shards.json total_rides = %v, want 1", shards["total_rides"])
+	}
+	// goroutines.txt is the text dump; must mention this test's server.
+	if len(members["goroutines.txt"]) < 100 {
+		t.Fatalf("goroutines.txt suspiciously small: %d bytes", len(members["goroutines.txt"]))
+	}
+}

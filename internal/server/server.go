@@ -50,11 +50,14 @@ type Server struct {
 	social *core.SocialGraph
 	mux    *http.ServeMux
 
-	reg       *telemetry.Registry
-	tracer    *telemetry.Tracer
-	accessLog *slog.Logger
-	inflight  *telemetry.Gauge
-	started   time.Time
+	reg         *telemetry.Registry
+	tracer      *telemetry.Tracer
+	recorder    *telemetry.Recorder
+	slo         *telemetry.SLOEngine
+	cpuProfiler *telemetry.CPUProfiler
+	accessLog   *slog.Logger
+	inflight    *telemetry.Gauge
+	started     time.Time
 }
 
 // Option customizes a Server.
@@ -113,6 +116,9 @@ func New(eng *core.Engine, social *core.SocialGraph, opts ...Option) *Server {
 	handle("GET /v1/metrics/json", "/v1/metrics/json", s.handleMetricsJSON)
 	handle("GET /v1/traces", "/v1/traces", s.handleTraces)
 	handle("GET /v1/traces/{id}", "/v1/traces/{id}", s.handleTraceByID)
+	handle("GET /v1/metrics/history", "/v1/metrics/history", s.handleMetricsHistory)
+	handle("GET /v1/slo", "/v1/slo", s.handleSLO)
+	handle("GET /v1/debug/bundle", "/v1/debug/bundle", s.handleDebugBundle)
 	handle("GET /v1/healthz", "/v1/healthz", s.handleHealth)
 	return s
 }
@@ -491,7 +497,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // HealthResponse is the GET /v1/healthz body. Beyond the static
 // discretization facts it carries uptime and the cumulative engine
 // counters, so a load balancer (or a human) can tell a wedged engine —
-// uptime climbing, counters frozen — from an idle one.
+// uptime climbing, counters frozen — from an idle one. With an SLO
+// engine wired (WithSLO), Status is the worst objective state
+// (ok/warn/page) instead of the static "ok" — a load balancer draining
+// on status != "ok" then sheds from a latency-burning instance.
 type HealthResponse struct {
 	Status        string       `json:"status"`
 	UptimeSeconds float64      `json:"uptime_seconds"`
@@ -508,7 +517,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	d := s.eng.Disc()
 	m := s.eng.Metrics()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:        "ok",
+		Status:        s.sloStatus(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		ActiveRides:   s.eng.NumRides(),
 		Clusters:      d.NumClusters(),

@@ -1,12 +1,18 @@
 package server
 
 import (
+	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
 
 	"xar/internal/telemetry"
 )
+
+// maxTraceListLimit caps GET /v1/traces?limit=...; the ring store holds
+// far fewer traces than this, so anything larger is a client bug.
+const maxTraceListLimit = 10000
 
 // Trace browsing endpoints. These serve the tracer's ring-buffer store —
 // the same store the engine's spans land in — so a slow histogram bucket
@@ -27,11 +33,25 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
+	// Unknown parameters are rejected rather than silently ignored: a
+	// typo like "min_mss" otherwise returns an unfiltered listing that
+	// looks like a successful filtered one.
+	for key := range q {
+		switch key {
+		case "op", "min_ms", "status", "limit":
+		default:
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown query parameter %q (want op, min_ms, status, limit)", key)})
+			return
+		}
+	}
 	f := telemetry.TraceFilter{Op: q.Get("op")}
 	if v := q.Get("min_ms"); v != "" {
 		ms, err := strconv.ParseFloat(v, 64)
-		if err != nil || ms < 0 {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: "min_ms must be a non-negative number"})
+		// ParseFloat accepts "NaN" and "±Inf"; both would turn the filter
+		// into nonsense (NaN comparisons are all false), so reject them
+		// alongside negatives.
+		if err != nil || math.IsNaN(ms) || math.IsInf(ms, 0) || ms < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "min_ms must be a non-negative finite number"})
 			return
 		}
 		f.MinDuration = time.Duration(ms * float64(time.Millisecond))
@@ -45,8 +65,8 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n <= 0 {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: "limit must be a positive integer"})
+		if err != nil || n <= 0 || n > maxTraceListLimit {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("limit must be an integer in [1, %d]", maxTraceListLimit)})
 			return
 		}
 		f.Limit = n

@@ -191,12 +191,36 @@ func TestTracesEndpointValidation(t *testing.T) {
 	for _, path := range []string{
 		"/v1/traces?min_ms=potato",
 		"/v1/traces?min_ms=-1",
+		"/v1/traces?min_ms=NaN",
+		"/v1/traces?min_ms=Inf",
+		"/v1/traces?min_ms=-Inf",
 		"/v1/traces?status=weird",
 		"/v1/traces?limit=0",
+		"/v1/traces?limit=-3",
+		"/v1/traces?limit=10001",
+		"/v1/traces?min_mss=5",
+		"/v1/traces?op=search&bogus=1",
 		"/v1/traces/nothex",
 	} {
-		if resp := env.doRaw(t, "GET", path, "", nil); resp.StatusCode != http.StatusBadRequest {
+		resp := env.doRaw(t, "GET", path, "", nil)
+		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("GET %s = %d, want 400", path, resp.StatusCode)
+			continue
+		}
+		// Every rejection is a JSON error body, not a bare status.
+		var body errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+			t.Errorf("GET %s: body not a JSON error (%v, %+v)", path, err, body)
+		}
+	}
+	// Valid filters at the boundary still pass.
+	for _, path := range []string{
+		"/v1/traces?limit=10000",
+		"/v1/traces?min_ms=0",
+		"/v1/traces?op=search&min_ms=1.5&status=ok&limit=5",
+	} {
+		if resp := env.doRaw(t, "GET", path, "", nil); resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
 		}
 	}
 	if resp := env.doRaw(t, "GET", "/v1/traces/0123456789abcdef0123456789abcdef", "", nil); resp.StatusCode != http.StatusNotFound {

@@ -83,6 +83,12 @@ type Config struct {
 	// source. Leave the engine itself uninstrumented when setting this,
 	// or operations are counted twice.
 	Telemetry *telemetry.Registry
+	// Recorder, when non-nil, is ticked on the replay's simulated clock
+	// (trip request times) at the recorder's own interval, so the
+	// retained history spans simulated hours regardless of how fast the
+	// replay executes. Pair it with Telemetry over the same registry;
+	// do not Start() the recorder's wall-clock loop as well.
+	Recorder *telemetry.Recorder
 }
 
 // DefaultConfig returns the paper's simulation settings.
@@ -139,11 +145,20 @@ func Run(sys System, trips []workload.Trip, cfg Config) (*Result, error) {
 	}
 	res := &Result{SystemName: sys.Name()}
 	lastTrack := -1.0
+	lastSnap := -1.0
+	snapEvery := 0.0
+	if cfg.Recorder != nil {
+		snapEvery = cfg.Recorder.Interval().Seconds()
+	}
 	for _, trip := range trips {
 		now := trip.RequestTime
 		if cfg.TrackInterval > 0 && (lastTrack < 0 || now-lastTrack >= cfg.TrackInterval) {
 			sys.Advance(now)
 			lastTrack = now
+		}
+		if snapEvery > 0 && (lastSnap < 0 || now-lastSnap >= snapEvery) {
+			cfg.Recorder.TickAt(now)
+			lastSnap = now
 		}
 		res.Requests++
 
@@ -226,6 +241,13 @@ func Run(sys System, trips []workload.Trip, cfg Config) (*Result, error) {
 			continue
 		}
 		res.Created++
+	}
+	// Final snapshot so the tail of the stream (since the last cadence
+	// tick) is part of the recorded history.
+	if cfg.Recorder != nil && len(trips) > 0 {
+		if last := trips[len(trips)-1].RequestTime; last > lastSnap {
+			cfg.Recorder.TickAt(last)
+		}
 	}
 	return res, nil
 }

@@ -1,14 +1,22 @@
 package telemetry
 
 import (
+	"math"
 	"runtime"
-	"time"
+	runtimemetrics "runtime/metrics"
+	"sync"
 )
 
-// RegisterRuntimeMetrics wires Go runtime health gauges into the
-// registry: goroutine count, heap usage, GC activity. All memstats
-// gauges are refreshed by a single runtime.ReadMemStats per scrape (via
-// OnScrape) rather than one stop-the-world read per gauge.
+// RegisterRuntimeMetrics wires Go runtime health into the registry:
+// goroutine count, heap usage, GC cycles, and — via runtime/metrics —
+// full GC-pause and scheduler-latency distributions. The histograms are
+// what make "is the runtime interfering with the search SLO" answerable:
+// a p99 search blip with a matching go_gc_pauses_seconds spike is a GC
+// problem, not an algorithm problem (and vice versa).
+//
+// Everything refreshes on scrape: one runtime.ReadMemStats plus one
+// runtime/metrics.Read per exposition render or recorder tick, never
+// per request.
 func RegisterRuntimeMetrics(r *Registry) {
 	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.", nil,
 		func() float64 { return float64(runtime.NumGoroutine()) })
@@ -16,20 +24,111 @@ func RegisterRuntimeMetrics(r *Registry) {
 	heapAlloc := r.Gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", nil)
 	heapObjects := r.Gauge("go_memstats_heap_objects", "Number of allocated heap objects.", nil)
 	sys := r.Gauge("go_memstats_sys_bytes", "Total bytes obtained from the OS.", nil)
-	numGC := r.Gauge("go_gc_cycles_total", "Completed GC cycles.", nil)
-	pauseTotal := r.Gauge("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", nil)
-	lastPause := r.Gauge("go_gc_last_pause_seconds", "Duration of the most recent GC pause.", nil)
+	gcCycles := r.Counter("go_gc_cycles_total", "Completed GC cycles.", nil)
 
+	// GC pauses and scheduler latencies land in the sub-µs to ms range;
+	// 100ns–1s at 5 buckets per decade resolves both.
+	runtimeBounds := LogBuckets(100e-9, 1, 5)
+	imp := &runtimeHistImporter{
+		samples: []runtimemetrics.Sample{
+			{Name: gcPauseMetricName()},
+			{Name: "/sched/latencies:seconds"},
+		},
+		hists: []*Histogram{
+			r.Histogram("go_gc_pauses_seconds",
+				"Distribution of stop-the-world GC pause durations.", runtimeBounds, nil),
+			r.Histogram("go_sched_latencies_seconds",
+				"Distribution of goroutine scheduling latencies (runnable to running).", runtimeBounds, nil),
+		},
+	}
+
+	var prevGC uint32
 	r.OnScrape(func() {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		heapAlloc.Set(float64(ms.HeapAlloc))
 		heapObjects.Set(float64(ms.HeapObjects))
 		sys.Set(float64(ms.Sys))
-		numGC.Set(float64(ms.NumGC))
-		pauseTotal.Set(time.Duration(ms.PauseTotalNs).Seconds())
-		if ms.NumGC > 0 {
-			lastPause.Set(time.Duration(ms.PauseNs[(ms.NumGC+255)%256]).Seconds())
+		if d := ms.NumGC - prevGC; d > 0 {
+			gcCycles.Add(uint64(d))
+			prevGC = ms.NumGC
 		}
+		imp.scrape()
 	})
+}
+
+// gcPauseMetricName picks the runtime's GC-pause histogram: the
+// consolidated /sched/pauses name (Go 1.22+) when present, else the
+// older /gc/pauses:seconds.
+func gcPauseMetricName() string {
+	const modern = "/sched/pauses/total/gc:seconds"
+	for _, d := range runtimemetrics.All() {
+		if d.Name == modern {
+			return modern
+		}
+	}
+	return "/gc/pauses:seconds"
+}
+
+// runtimeHistImporter delta-imports cumulative runtime/metrics
+// Float64Histograms into registry histograms: each scrape reads the
+// runtime's bucket counts, diffs against the previous read, and bulk-adds
+// each bucket's new observations at the bucket's representative value.
+// Re-bucketing loses at most one of our bucket widths (~60%) of
+// resolution — fine for "did GC pause for milliseconds" questions.
+type runtimeHistImporter struct {
+	mu      sync.Mutex // scrapes may race (two concurrent expositions)
+	samples []runtimemetrics.Sample
+	hists   []*Histogram
+	prev    [][]uint64
+}
+
+func (imp *runtimeHistImporter) scrape() {
+	imp.mu.Lock()
+	defer imp.mu.Unlock()
+	runtimemetrics.Read(imp.samples)
+	if imp.prev == nil {
+		imp.prev = make([][]uint64, len(imp.samples))
+	}
+	for i := range imp.samples {
+		if imp.samples[i].Value.Kind() != runtimemetrics.KindFloat64Histogram {
+			continue // metric absent on this runtime version
+		}
+		rh := imp.samples[i].Value.Float64Histogram()
+		if rh == nil {
+			continue
+		}
+		if len(imp.prev[i]) != len(rh.Counts) {
+			// First read (or runtime changed layout): baseline without
+			// importing, so process-lifetime history before registration
+			// doesn't land in one scrape as a spike.
+			imp.prev[i] = append([]uint64(nil), rh.Counts...)
+			continue
+		}
+		for b, c := range rh.Counts {
+			d := c - imp.prev[i][b]
+			if d == 0 {
+				continue
+			}
+			imp.prev[i][b] = c
+			imp.hists[i].AddSample(representativeValue(rh.Buckets, b), d)
+		}
+	}
+}
+
+// representativeValue summarizes runtime bucket b (bounded by
+// Buckets[b], Buckets[b+1]) as one value: the geometric mean for finite
+// positive bounds, clamping the ±Inf edge buckets to their finite side.
+func representativeValue(bounds []float64, b int) float64 {
+	lo, hi := bounds[b], bounds[b+1]
+	switch {
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	case lo > 0:
+		return math.Sqrt(lo * hi)
+	default:
+		return (lo + hi) / 2
+	}
 }

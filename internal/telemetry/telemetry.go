@@ -342,6 +342,25 @@ func (h *Histogram) Observe(v float64) {
 // unit for time.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// AddSample records n observations of value v in one shot — the bulk
+// path for importing pre-aggregated histograms (runtime/metrics), where
+// looping Observe over thousands of buffered samples would be waste.
+func (h *Histogram) AddSample(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v)
+	h.cells[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v*float64(n))
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
 // ObserveExemplar records one observation and stamps its bucket's
 // exemplar slot with the producing trace. Zero trace IDs fall back to a
 // plain Observe.

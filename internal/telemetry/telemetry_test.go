@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"math"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -227,7 +228,10 @@ func TestRuntimeMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := sb.String()
-	for _, want := range []string{"go_goroutines", "go_memstats_heap_alloc_bytes", "go_gc_cycles_total"} {
+	for _, want := range []string{
+		"go_goroutines", "go_memstats_heap_alloc_bytes", "go_gc_cycles_total",
+		"go_gc_pauses_seconds_bucket", "go_sched_latencies_seconds_bucket",
+	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("runtime metrics missing %s", want)
 		}
@@ -240,6 +244,49 @@ func TestRuntimeMetrics(t *testing.T) {
 				t.Fatalf("go_goroutines = %q (%v)", line, err)
 			}
 		}
+	}
+}
+
+// TestRuntimeMetricsGCPauses forces GC cycles across scrapes and checks
+// the delta-imported pause histogram and cycle counter advance.
+func TestRuntimeMetricsGCPauses(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	r.runScrapeHooks() // baseline read: imports nothing
+	pauses := r.Histogram("go_gc_pauses_seconds", "", LogBuckets(100e-9, 1, 5), nil)
+	cycles := r.Counter("go_gc_cycles_total", "", nil)
+	before := pauses.Count()
+	cyclesBefore := cycles.Value()
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+	}
+	r.runScrapeHooks()
+	if pauses.Count() <= before {
+		t.Fatalf("pause histogram did not grow: %d → %d", before, pauses.Count())
+	}
+	if cycles.Value() < cyclesBefore+3 {
+		t.Fatalf("gc cycles counter = %d, want ≥ %d", cycles.Value(), cyclesBefore+3)
+	}
+	// Pauses must land at plausible magnitudes (< 1s each).
+	if q := pauses.Quantile(0.99); q > 1 {
+		t.Fatalf("gc pause p99 = %v s, implausible", q)
+	}
+}
+
+func TestHistogramAddSample(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.AddSample(1.5, 10)
+	h.AddSample(100, 3) // overflow cell
+	h.AddSample(0.5, 0) // no-op
+	if h.Count() != 13 {
+		t.Fatalf("count = %d, want 13", h.Count())
+	}
+	if want := 1.5*10 + 100*3; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	bc := h.BucketCounts()
+	if bc[1] != 10 || bc[3] != 3 {
+		t.Fatalf("bucket counts = %v, want [0 10 0 3]", bc)
 	}
 }
 
