@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-telemetry bench-tracing bench-recorder bench-parallel-smoke
+.PHONY: all build vet test race bench-smoke bench-telemetry bench-tracing bench-recorder bench-audit bench-parallel-smoke audit-smoke
 
 all: build vet test
 
@@ -19,7 +19,7 @@ race:
 # bench-smoke: one fast pass over the headline benchmarks — enough to
 # catch perf regressions in CI without regenerating every figure.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig4aSearchXAR$$|BenchmarkFig4bCreateXAR$$|BenchmarkSearchTelemetry|BenchmarkSearchTracing|BenchmarkSearchRecorder' -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'BenchmarkFig4aSearchXAR$$|BenchmarkFig4bCreateXAR$$|BenchmarkSearchTelemetry|BenchmarkSearchTracing|BenchmarkSearchRecorder|BenchmarkSearchJournal' -benchtime 100x .
 
 # bench-telemetry: the observability overhead comparison (off vs on)
 # backing the ≤5% search hot-path budget; see README "Observability".
@@ -37,6 +37,19 @@ bench-tracing:
 # BENCH_recorder.json; see OBSERVABILITY.md.
 bench-recorder:
 	$(GO) test -run '^$$' -bench 'BenchmarkSearchRecorder' -benchtime 3s -count 4 .
+
+# bench-audit: the event-journal + invariant-auditor overhead comparison
+# (off vs journal-on vs journal + background sweeps — 50 ms cadence on
+# the serial search path, 1 s under the parallel mixed workload) backing
+# BENCH_audit.json; see OBSERVABILITY.md "Event journal & auditing".
+bench-audit:
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchJournal|BenchmarkMixedWorkloadJournal' -benchtime 1.5s -count 3 .
+
+# audit-smoke: a small clean replay through `xarsim -audit` must journal
+# every lifecycle event, sweep the invariant auditor on the simulated
+# clock, and exit zero with no violations — the correctness gate CI runs.
+audit-smoke:
+	$(GO) run ./cmd/xarsim -rows 12 -cols 8 -requests 200 -audit
 
 # bench-parallel-smoke: one iteration of each concurrent-engine
 # benchmark at every GOMAXPROCS step — verifies the parallel paths run,

@@ -35,8 +35,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xar/internal/audit"
 	"xar/internal/core"
 	"xar/internal/experiments"
+	"xar/internal/journal"
 	"xar/internal/sim"
 	"xar/internal/telemetry"
 )
@@ -57,6 +59,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "dump the slowest XAR traces as JSON to this file")
 	traceTop := flag.Int("trace-top", 20, "how many slowest traces -trace-out keeps")
 	historyOut := flag.String("history-out", "", "record the run's telemetry on a 1s wall-clock cadence and write the time-series as JSON to this file")
+	auditFlag := flag.Bool("audit", false, "run a journaled replay through the invariant auditor after the workload (in -parallel mode, audit the parallel engine itself) and exit non-zero on any violation")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -117,8 +120,15 @@ func main() {
 		if w.Telemetry == nil {
 			w.Telemetry = telemetry.NewRegistry()
 		}
-		if err := runParallel(w, *parallel, ops); err != nil {
+		if *auditFlag {
+			w.Journal = journal.New(journal.Config{})
+		}
+		eng, err := runParallel(w, *parallel, ops)
+		if err != nil {
 			log.Fatal(err)
+		}
+		if *auditFlag {
+			runAudit(w, eng)
 		}
 		if *prom != "" {
 			if err := dumpProm(w.Telemetry, *prom); err != nil {
@@ -153,6 +163,47 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *auditFlag {
+		// Figure replays build their own engines internally, so the
+		// correctness gate runs one additional journaled replay of the
+		// full trip stream and audits that engine.
+		aw := *w
+		aw.Telemetry, aw.Tracer = nil, nil
+		aw.Journal = journal.New(journal.Config{})
+		eng, err := aw.NewXAREngine()
+		if err != nil {
+			log.Fatal(err)
+		}
+		acfg := sim.DefaultConfig()
+		acfg.WalkLimit = aw.Scale.WalkLimit
+		acfg.DetourLimit = aw.Scale.DetourLimit
+		if _, err := sim.Run(&sim.XARSystem{Engine: eng}, aw.Trips, acfg); err != nil {
+			log.Fatal(err)
+		}
+		runAudit(&aw, eng)
+	}
+}
+
+// runAudit sweeps the engine with a synchronous invariant audit and
+// exits non-zero on any violation — the xarbench side of the CI
+// correctness gate.
+func runAudit(w *experiments.World, eng *core.Engine) {
+	auditor := audit.New(audit.Config{Target: audit.Target{
+		View:    eng.Index(),
+		Graph:   w.Disc.City().Graph,
+		Epsilon: w.Disc.Epsilon(),
+		Journal: w.Journal,
+	}})
+	rep := auditor.Audit()
+	log.Printf("audit: checked %d live rides across %d shards + %d journaled timelines in %.1f ms",
+		rep.RidesChecked, rep.Shards, rep.JournalRides, rep.DurationSeconds*1e3)
+	if !rep.Clean() {
+		for _, v := range rep.Violations {
+			log.Printf("audit: VIOLATION [%s] ride %d shard %d: %s", v.Invariant, v.Ride, v.Shard, v.Detail)
+		}
+		log.Fatalf("audit: %d invariant violation(s) — failing", len(rep.Violations))
+	}
+	log.Printf("audit: all invariants hold (0 violations)")
 }
 
 // dumpTraces writes the run's n slowest traces (full span trees) to path.
@@ -215,16 +266,17 @@ func dumpProm(reg *telemetry.Registry, path string) error {
 // world's offers. Throughput comes from wall time; latency quantiles
 // come from the xar_op_duration_seconds telemetry histograms the engine
 // records into (the same series xarserver exposes at /v1/metrics/prom).
-func runParallel(w *experiments.World, workers, ops int) error {
+func runParallel(w *experiments.World, workers, ops int) (*core.Engine, error) {
 	const shards = 16
 	cfg := core.DefaultConfig()
 	cfg.DefaultDetourLimit = w.Scale.DetourLimit
 	cfg.IndexShards = shards
 	cfg.Telemetry = w.Telemetry
 	cfg.Tracer = w.Tracer
+	cfg.Journal = w.Journal
 	eng, err := core.NewEngine(w.Disc, cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sys := &sim.XARSystem{Engine: eng}
 	offers, requests := w.SplitOffersRequests()
@@ -325,7 +377,7 @@ func runParallel(w *experiments.World, workers, ops int) error {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(res)
+	return eng, enc.Encode(res)
 }
 
 func run(w *experiments.World, fig string) error {

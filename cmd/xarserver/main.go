@@ -25,6 +25,8 @@
 //	-profile-on-page DIR   capture a CPU profile into DIR when an SLO pages
 //	-pprof-labels          label engine hot paths (op/stage/shard) for profilers
 //	-bundle-dir DIR        SIGQUIT writes a debug bundle tar.gz here (also GET /v1/debug/bundle)
+//	-journal               journal ride-lifecycle events (/v1/rides/{id}/timeline, /v1/events)
+//	-audit-interval 30s    background invariant-audit sweep cadence (0 disables)
 package main
 
 import (
@@ -40,8 +42,10 @@ import (
 	"syscall"
 	"time"
 
+	"xar/internal/audit"
 	"xar/internal/core"
 	"xar/internal/discretize"
+	"xar/internal/journal"
 	"xar/internal/roadnet"
 	"xar/internal/server"
 	"xar/internal/telemetry"
@@ -69,6 +73,8 @@ func main() {
 	profileOnPage := flag.String("profile-on-page", "", "capture a short CPU profile into this directory when an SLO enters page (empty disables)")
 	pprofLabels := flag.Bool("pprof-labels", false, "attach pprof labels (op/stage/shard) to engine hot paths; small per-op cost")
 	bundleDir := flag.String("bundle-dir", ".", "directory SIGQUIT-triggered debug bundles are written to")
+	enableJournal := flag.Bool("journal", true, "record ride-lifecycle events into the fixed-memory journal; serves /v1/rides/{id}/timeline and /v1/events")
+	auditInterval := flag.Duration("audit-interval", 30*time.Second, "background invariant-audit sweep cadence (0 disables the auditor)")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -96,6 +102,11 @@ func main() {
 		})
 	}
 
+	var jr *journal.Journal
+	if *enableJournal {
+		jr = journal.New(journal.Config{Registry: reg})
+	}
+
 	ecfg := core.DefaultConfig()
 	ecfg.UseALTPaths = *useALT
 	ecfg.Telemetry = reg
@@ -103,6 +114,7 @@ func main() {
 	ecfg.SlowOpThreshold = time.Duration(*slowMS * float64(time.Millisecond))
 	ecfg.SlowOpLogger = logger
 	ecfg.PprofLabels = *pprofLabels
+	ecfg.Journal = jr
 	eng, err := core.NewEngine(disc, ecfg)
 	if err != nil {
 		log.Fatal(err)
@@ -117,6 +129,29 @@ func main() {
 	}
 	if *accessLog {
 		opts = append(opts, server.WithAccessLog(logger))
+	}
+	if jr != nil {
+		opts = append(opts, server.WithJournal(jr))
+	}
+	if *auditInterval > 0 {
+		acfg := audit.Config{
+			Target: audit.Target{
+				View:    eng.Index(),
+				Graph:   city.Graph,
+				Epsilon: disc.Epsilon(),
+				Journal: jr,
+			},
+			Interval: *auditInterval,
+			Registry: reg,
+			Logger:   logger,
+		}
+		if tracer != nil {
+			acfg.TraceStore = tracer.Store()
+		}
+		auditor := audit.New(acfg)
+		auditor.Start()
+		defer auditor.Stop()
+		opts = append(opts, server.WithAuditor(auditor))
 	}
 
 	// Flight recorder: in-process metric history, burn-rate SLOs, and the

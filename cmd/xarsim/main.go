@@ -15,7 +15,9 @@ import (
 	"os"
 	"time"
 
+	"xar/internal/audit"
 	"xar/internal/experiments"
+	"xar/internal/journal"
 	"xar/internal/sim"
 	"xar/internal/telemetry"
 )
@@ -38,6 +40,8 @@ func main() {
 	traceTop := flag.Int("trace-top", 20, "how many slowest traces -trace-out keeps")
 	historyOut := flag.String("history-out", "", "record the XAR replay's telemetry on the simulated clock and write the time-series as JSON to this file (regenerates the latency-over-time curves behind figures 3a-3d)")
 	historyInterval := flag.Float64("history-interval", 60, "simulated seconds between -history-out snapshots")
+	auditFlag := flag.Bool("audit", false, "journal the XAR replay's ride-lifecycle events, sweep the invariant auditor on the simulated clock, run a full synchronous audit after the replay, and exit non-zero on any violation")
+	auditInterval := flag.Float64("audit-interval", 300, "simulated seconds between -audit sweeps during the replay")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -93,9 +97,23 @@ func main() {
 			xcfg.Telemetry = reg
 			xcfg.Recorder = rec
 		}
+		if *auditFlag {
+			w.Journal = journal.New(journal.Config{})
+		}
 		eng, err := w.NewXAREngine()
 		if err != nil {
 			log.Fatal(err)
+		}
+		var auditor *audit.Auditor
+		if *auditFlag {
+			auditor = audit.New(audit.Config{Target: audit.Target{
+				View:    eng.Index(),
+				Graph:   w.Disc.City().Graph,
+				Epsilon: w.Disc.Epsilon(),
+				Journal: w.Journal,
+			}})
+			xcfg.Auditor = auditor
+			xcfg.AuditInterval = *auditInterval
 		}
 		report(w, &sim.XARSystem{Engine: eng}, xcfg)
 		if *traceOut != "" {
@@ -103,6 +121,9 @@ func main() {
 		}
 		if rec != nil {
 			dumpHistory(*historyOut, rec)
+		}
+		if auditor != nil {
+			finalAudit(auditor, w.Journal)
 		}
 	}
 	if *system == "tshare" || *system == "both" {
@@ -141,6 +162,23 @@ func report(w *experiments.World, sys sim.System, cfg sim.Config) {
 		fmt.Printf("rider walking: %s\n", res.Walks.Summary("m"))
 	}
 	fmt.Printf("active rides at end: %d\n", sys.ActiveRides())
+}
+
+// finalAudit runs the post-replay synchronous sweep and exits non-zero
+// on any violation (this run's plus any found by the in-replay sweeps),
+// making `xarsim -audit` a CI-usable correctness gate.
+func finalAudit(auditor *audit.Auditor, jr *journal.Journal) {
+	rep := auditor.Audit()
+	st := jr.Stats()
+	log.Printf("audit: checked %d live rides across %d shards + %d journaled timelines (%d events) in %.1f ms",
+		rep.RidesChecked, rep.Shards, rep.JournalRides, st.Events, rep.DurationSeconds*1e3)
+	if total := auditor.TotalViolations(); total > 0 {
+		for _, v := range rep.Violations {
+			log.Printf("audit: VIOLATION [%s] ride %d shard %d: %s", v.Invariant, v.Ride, v.Shard, v.Detail)
+		}
+		log.Fatalf("audit: %d invariant violation(s) across all sweeps — failing", total)
+	}
+	log.Printf("audit: all invariants hold (0 violations)")
 }
 
 // dumpTraces writes the run's n slowest traces (full span trees) to path.

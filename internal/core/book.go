@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"xar/internal/index"
+	"xar/internal/journal"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
 )
@@ -117,8 +119,15 @@ func (e *Engine) bookCtx(ctx context.Context, m Match, req Request) (bk Booking,
 		aspan.End()
 		if !conflict {
 			span.SetInt("conflict_retries", int64(attempt-1))
+			if berr == nil {
+				e.recordEvent(journal.Booked, m.Ride, span, b.DetourActual,
+					"pu="+strconv.FormatInt(int64(puNode), 10)+" do="+strconv.FormatInt(int64(doNode), 10))
+				e.recordEvent(journal.SpliceCommitted, m.Ride, span, b.DetourActual,
+					"sp_runs="+strconv.Itoa(b.ShortestPathRuns))
+			}
 			return b, berr
 		}
+		e.recordEvent(journal.BookConflictRetried, m.Ride, span, float64(attempt), "")
 		e.m.bookConflictRetries.Add(1)
 		if e.tel != nil && e.tel.bookConflicts != nil {
 			e.tel.bookConflicts.Inc()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"xar/internal/index"
+	"xar/internal/journal"
 	"xar/internal/roadnet"
 )
 
@@ -124,5 +125,9 @@ func (e *Engine) CancelBookingCtx(ctx context.Context, id index.RideID, pickup, 
 	// changed, so reset progress conservatively to the route start of the
 	// first remaining segment.
 	r.Progress = 0
-	return sh.Ix.Reregister(r)
+	if err := sh.Ix.Reregister(r); err != nil {
+		return err
+	}
+	e.recordEvent(journal.Cancelled, id, span, spent, "")
+	return nil
 }

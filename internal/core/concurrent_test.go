@@ -1,6 +1,7 @@
 package core
 
 import (
+	"log/slog"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -8,8 +9,10 @@ import (
 	"testing"
 	"time"
 
+	"xar/internal/audit"
 	"xar/internal/discretize"
 	"xar/internal/index"
+	"xar/internal/journal"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
 )
@@ -36,6 +39,9 @@ func concurrentEngine(t testing.TB, shards, workers int) *Engine {
 		SampleRate:    2,
 		SlowThreshold: time.Millisecond,
 	})
+	// Journal on for the same reason: every op goroutine appends into the
+	// striped event rings while others read timelines.
+	cfg.Journal = journal.New(journal.Config{})
 	e, err := NewEngine(d, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -184,6 +190,36 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 				if _, err := e.Book(Match{Ride: id}, Request{Source: src, Dest: dst, LatestDeparture: 100, WalkLimit: 500}); err != ErrUnknownRide {
 					t.Fatalf("booking a completed ride: err = %v, want ErrUnknownRide", err)
 				}
+			}
+			// Every journaled timeline must come back strictly
+			// seq-ascending after the concurrent run, and a full audit
+			// sweep — schedules, index, journal causality — must be
+			// silent on the quiesced engine.
+			checked := 0
+			e.Journal().PerRide(func(ride int64, evs []journal.Event, _ bool) bool {
+				checked++
+				for i := 1; i < len(evs); i++ {
+					if evs[i-1].Seq >= evs[i].Seq {
+						t.Errorf("ride %d timeline not seq-ascending at %d", ride, i)
+						return false
+					}
+				}
+				return true
+			})
+			if checked == 0 {
+				t.Fatal("stress run journaled no rides")
+			}
+			auditor := audit.New(audit.Config{
+				Target: audit.Target{
+					View:    e.Index(),
+					Graph:   e.disc.City().Graph,
+					Epsilon: e.disc.Epsilon(),
+					Journal: e.Journal(),
+				},
+				Logger: slog.New(slog.NewTextHandler(discardWriter{}, nil)),
+			})
+			if rep := auditor.Audit(); !rep.Clean() {
+				t.Fatalf("audit after stress: %+v", rep.Violations)
 			}
 		})
 	}

@@ -16,12 +16,14 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"xar/internal/discretize"
 	"xar/internal/geo"
 	"xar/internal/index"
+	"xar/internal/journal"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
 )
@@ -126,6 +128,14 @@ type Config struct {
 	// many searches concurrently (an HTTP server); set it for few large
 	// searches on an otherwise idle machine (batch planners).
 	SearchWorkers int
+	// Journal, when non-nil, records every ride-lifecycle event
+	// (created, booked, splice-committed, conflict-retried, cancelled,
+	// picked-up, dropped-off, completed — plus search-candidate events
+	// for metrics-sampled searches) into fixed-memory per-ride rings
+	// with trace-ID cross-links. Nil leaves the hot paths free of
+	// journaling (one nil check per emit site). See OBSERVABILITY.md
+	// "Event journal & auditing".
+	Journal *journal.Journal
 }
 
 // DefaultConfig returns production defaults.
@@ -248,6 +258,7 @@ type Engine struct {
 
 	m   metrics
 	tel *engineTelemetry // nil → uninstrumented
+	jr  *journal.Journal // nil → no event journaling
 }
 
 // pathFinder is the slice of the routing layer the engine needs; both
@@ -291,6 +302,7 @@ func NewEngine(disc *discretize.Discretization, cfg Config) (*Engine, error) {
 		disc:      disc,
 		ix:        ix,
 		newFinder: newFinder,
+		jr:        cfg.Journal,
 	}
 	e.finders.New = func() any { return e.newFinder() }
 	e.scratchPool.New = func() any { return newSearchScratch() }
@@ -434,6 +446,11 @@ func (e *Engine) createRideCtx(ctx context.Context, offer RideOffer) (id index.R
 		{RouteIdx: 0, Node: srcNode, ETA: r.RouteETA[0], Kind: index.ViaSource},
 		{RouteIdx: len(res.Path) - 1, Node: dstNode, ETA: r.RouteETA[len(res.Path)-1], Kind: index.ViaDest},
 	}
+	// Journal the creation BEFORE the ride becomes searchable: once
+	// Insert returns, a concurrent search + book can journal "booked",
+	// and the causality invariant (no lifecycle event before created)
+	// must hold by construction, not by luck.
+	e.recordEvent(journal.Created, r.ID, span, detour, "seats="+strconv.Itoa(seats))
 	// Only the registration itself needs the ride's shard — one write
 	// lock, no shortest-path work inside it.
 	sh := e.ix.ShardFor(r.ID)
@@ -520,5 +537,6 @@ func (e *Engine) CompleteRide(id index.RideID) bool {
 		return false
 	}
 	e.m.ridesCompleted.Add(1)
+	e.recordEvent(journal.Completed, id, nil, 0, "")
 	return true
 }

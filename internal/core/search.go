@@ -11,8 +11,14 @@ import (
 
 	"xar/internal/geo"
 	"xar/internal/index"
+	"xar/internal/journal"
 	"xar/internal/telemetry"
 )
+
+// maxCandidateEvents caps the search_candidate journal events one
+// sampled search may emit — enough to reconstruct "who saw this ride"
+// without letting a dense search flood the per-ride rings.
+const maxCandidateEvents = 8
 
 // Search implements the optimized two-step ride search of §VII. It never
 // computes a shortest path:
@@ -86,6 +92,20 @@ func (e *Engine) searchCtx(ctx context.Context, req Request) (out []Match, err e
 	}
 	out, err = e.search(span, req, timed, sampled)
 	e.m.searchMatches.Add(uint64(len(out)))
+	// Journal candidate surfacing for sampled searches only: searches
+	// are the sub-microsecond hot path and return many matches, so an
+	// unconditional emit would dominate their cost. The events are
+	// advisory — a candidate timeline entry means "a sampled search saw
+	// this ride"; absence proves nothing. Emitted before EndAt: sealing
+	// recycles the trace record the cross-link reads.
+	if e.jr != nil && sampled {
+		for i := range out {
+			if i == maxCandidateEvents {
+				break
+			}
+			e.recordEvent(journal.SearchCandidate, out[i].Ride, span, out[i].DetourEstimate, "")
+		}
+	}
 	if timed {
 		now := time.Now() // one read closes both the span and the op clock
 		if span != nil {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"xar/internal/index"
+	"xar/internal/journal"
 )
 
 // Track implements ride tracking (§VIII-A) by wall clock: it advances the
@@ -38,13 +39,30 @@ func (e *Engine) TrackCtx(ctx context.Context, id index.RideID, now float64) (ar
 	if r == nil {
 		return false, ErrUnknownRide
 	}
-	pos := r.Progress
+	oldPos := r.Progress
+	pos := oldPos
 	for pos+1 < len(r.RouteETA) && r.RouteETA[pos+1] <= now {
 		pos++
 	}
-	if pos != r.Progress {
+	if pos != oldPos {
 		if err := sh.Ix.Advance(id, pos); err != nil {
 			return false, err
+		}
+		// Journal the pickups / drop-offs the vehicle just passed. Still
+		// under the shard lock, which is safe: the journal takes only
+		// its own stripe locks and never calls back into the index.
+		if e.jr != nil {
+			for _, v := range r.Via {
+				if v.RouteIdx <= oldPos || v.RouteIdx > pos {
+					continue
+				}
+				switch v.Kind {
+				case index.ViaPickup:
+					e.recordEvent(journal.PickedUp, id, span, v.ETA, "")
+				case index.ViaDropoff:
+					e.recordEvent(journal.DroppedOff, id, span, v.ETA, "")
+				}
+			}
 		}
 	}
 	return pos == len(r.Route)-1, nil

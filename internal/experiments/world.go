@@ -10,6 +10,7 @@ import (
 
 	"xar/internal/core"
 	"xar/internal/discretize"
+	"xar/internal/journal"
 	"xar/internal/mmtp"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
@@ -65,6 +66,10 @@ type World struct {
 	// replayed operations (cmd/xarsim -trace-out / cmd/xarbench
 	// -trace-out wire this to dump the slowest traces).
 	Tracer *telemetry.Tracer
+	// Journal, when non-nil, records ride-lifecycle events during the
+	// replay (cmd/xarsim -audit / cmd/xarbench -audit wire this so the
+	// post-replay audit can check journal causality).
+	Journal *journal.Journal
 }
 
 // BuildWorld generates the city, discretization (ε = Scale.Epsilon) and
@@ -121,6 +126,7 @@ func (w *World) NewXAREngine() (*core.Engine, error) {
 		cfg.SearchSampleRate = 1
 	}
 	cfg.Tracer = w.Tracer
+	cfg.Journal = w.Journal
 	return core.NewEngine(w.Disc, cfg)
 }
 

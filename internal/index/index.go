@@ -491,3 +491,90 @@ func (ix *Index) CheckInvariants() error {
 	}
 	return nil
 }
+
+// Inconsistency is one index↔schedule consistency finding: a ride whose
+// cluster-list membership disagrees with what its schedule implies (or a
+// structural defect of a cluster list itself). Cluster is -1 when the
+// finding is not tied to a single cluster.
+type Inconsistency struct {
+	Ride    RideID
+	Cluster int
+	Detail  string
+}
+
+// Inconsistencies is the collect-all sibling of CheckInvariants: where
+// CheckInvariants stops at the first defect (test-time pass/fail), this
+// appends every finding to dst and returns it, which is what the online
+// auditor needs — a sweep should report the full damage, not the first
+// symptom.
+func (ix *Index) Inconsistencies(dst []Inconsistency) []Inconsistency {
+	for c := range ix.clusters {
+		l := &ix.clusters[c]
+		if len(l.byID) != len(l.byETA) {
+			dst = append(dst, Inconsistency{Cluster: c, Detail: fmt.Sprintf("order sizes differ (%d byID vs %d byETA)", len(l.byID), len(l.byETA))})
+		}
+		for i := 1; i < len(l.byID); i++ {
+			if l.byID[i-1].Ride >= l.byID[i].Ride {
+				dst = append(dst, Inconsistency{Ride: l.byID[i].Ride, Cluster: c, Detail: fmt.Sprintf("byID order violated at %d", i)})
+			}
+		}
+		for i := 1; i < len(l.byETA); i++ {
+			if l.byETA[i-1].ETA > l.byETA[i].ETA {
+				dst = append(dst, Inconsistency{Ride: l.byETA[i].Ride, Cluster: c, Detail: fmt.Sprintf("byETA order violated at %d", i)})
+			}
+		}
+		for _, e := range l.byID {
+			r, ok := ix.rides[e.Ride]
+			if !ok {
+				dst = append(dst, Inconsistency{Ride: e.Ride, Cluster: c, Detail: "listed ride is not registered"})
+				continue
+			}
+			refs := r.support[int32(c)]
+			if len(refs) == 0 {
+				dst = append(dst, Inconsistency{Ride: e.Ride, Cluster: c, Detail: "listed ride has no supports here"})
+				continue
+			}
+			valid := 0
+			best := math.Inf(1)
+			for _, ref := range refs {
+				if int(ref.Pt) >= len(r.pt) {
+					dst = append(dst, Inconsistency{Ride: e.Ride, Cluster: c, Detail: "support ref out of range"})
+					continue
+				}
+				if !r.pt[ref.Pt].Crossed {
+					valid++
+				}
+				if ref.ETA < best {
+					best = ref.ETA
+				}
+			}
+			if valid == 0 {
+				dst = append(dst, Inconsistency{Ride: e.Ride, Cluster: c, Detail: "listed ride has only crossed supports"})
+			}
+			if math.Abs(best-e.ETA) > 1e-6 {
+				dst = append(dst, Inconsistency{Ride: e.Ride, Cluster: c, Detail: fmt.Sprintf("listed ETA %v != min support ETA %v", e.ETA, best)})
+			}
+		}
+	}
+	for id, r := range ix.rides {
+		for c := range r.support {
+			if _, ok := ix.clusters[c].eta(id); !ok {
+				dst = append(dst, Inconsistency{Ride: id, Cluster: int(c), Detail: "ride's schedule supports this cluster but the list omits it"})
+			}
+		}
+	}
+	return dst
+}
+
+// DropFromClusterList removes ride id from cluster c's potential-ride
+// lists while leaving the ride's support records in place — a deliberate
+// index↔schedule inconsistency. It exists solely for auditor
+// fault-injection drills ("drop a ride from a cluster list behind the
+// engine's back"); nothing in the serving path calls it. Reports whether
+// the ride was listed.
+func (ix *Index) DropFromClusterList(c int, id RideID) bool {
+	if c < 0 || c >= len(ix.clusters) {
+		return false
+	}
+	return ix.clusters[c].remove(id)
+}

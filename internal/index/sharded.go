@@ -204,3 +204,31 @@ func (v View) CheckInvariants() error {
 	}
 	return nil
 }
+
+// AuditShard captures stripe i's audit unit of work under a single
+// acquisition of that stripe's read lock: deep clones of every resident
+// ride (the auditor's per-ride schedule checks run on these, off-lock)
+// plus the collect-all consistency findings of the live structures,
+// including the shard-ownership check. One lock hold means the snapshot
+// and the findings describe the same instant; separate shards are
+// audited at separate instants, which is exactly the consistency the
+// engine itself guarantees (no operation spans two shards).
+func (v View) AuditShard(i int) (rides []*Ride, incs []Inconsistency) {
+	sh := v.s.Shard(i)
+	sh.RLock()
+	defer sh.RUnlock()
+	rides = make([]*Ride, 0, sh.Ix.NumRides())
+	sh.Ix.Rides(func(r *Ride) bool {
+		rides = append(rides, r.Clone())
+		return true
+	})
+	incs = sh.Ix.Inconsistencies(nil)
+	sh.Ix.Rides(func(r *Ride) bool {
+		if v.s.ShardOf(r.ID) != i {
+			incs = append(incs, Inconsistency{Ride: r.ID, Cluster: -1,
+				Detail: fmt.Sprintf("registered in shard %d, belongs to %d", i, v.s.ShardOf(r.ID))})
+		}
+		return true
+	})
+	return rides, incs
+}

@@ -1,0 +1,451 @@
+// Package journal records ride-lifecycle events into fixed-memory ring
+// storage: every ride keeps its most recent events keyed by ride ID, and
+// a global tail ring keeps the most recent events across the fleet. The
+// journal is the system's flight log of *what happened to each ride* —
+// created, matched, booked, spliced, tracked, completed — with trace-ID
+// cross-links into the span store, so a timeline answers "why does this
+// ride look like this" and a trace answers "why was it slow".
+//
+// Memory is bounded by construction: at most MaxRides per-ride rings of
+// PerRideCapacity events each plus TailCapacity tail slots, all
+// overwrite-oldest. Terminal rides (completed) are evicted before live
+// ones when the ride table fills, so an active fleet's timelines survive
+// a churn of finished rides.
+//
+// Recording is lock-striped by ride ID and never blocks on consumers;
+// the auditor (internal/audit) replays per-ride sequences to verify
+// journal causality invariants.
+package journal
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xar/internal/telemetry"
+)
+
+// EventType names one ride-lifecycle transition.
+type EventType string
+
+// The ride-lifecycle event types, in rough lifecycle order.
+const (
+	// Created: the offer was registered and indexed.
+	Created EventType = "created"
+	// SearchCandidate: the ride surfaced as a match of a (sampled)
+	// search. Advisory — emitted only for metrics-sampled searches, so
+	// its absence proves nothing.
+	SearchCandidate EventType = "search_candidate"
+	// Booked: a rider's booking was confirmed on the ride.
+	Booked EventType = "booked"
+	// SpliceCommitted: the booking's route splice was applied (new
+	// route, via-points, ETAs and budget committed under the shard lock).
+	SpliceCommitted EventType = "splice_committed"
+	// BookConflictRetried: an optimistic booking commit found the ride
+	// mutated and retried.
+	BookConflictRetried EventType = "book_conflict_retried"
+	// Cancelled: a confirmed booking was cancelled off the ride.
+	Cancelled EventType = "cancelled"
+	// PickedUp / DroppedOff: tracking advanced the vehicle past a
+	// booking's pickup / drop-off via-point.
+	PickedUp   EventType = "picked_up"
+	DroppedOff EventType = "dropped_off"
+	// Completed: the ride finished and left the index. Terminal.
+	Completed EventType = "completed"
+)
+
+// Types returns all event types (counter registration, query validation).
+func Types() []EventType {
+	return []EventType{
+		Created, SearchCandidate, Booked, SpliceCommitted,
+		BookConflictRetried, Cancelled, PickedUp, DroppedOff, Completed,
+	}
+}
+
+// KnownType reports whether t is a defined event type.
+func KnownType(t EventType) bool {
+	for _, k := range Types() {
+		if t == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Event is one journal record. Fields are fixed-size scalars plus two
+// short strings, so a ring slot costs well under 100 bytes amortized.
+type Event struct {
+	// Seq is the journal-global sequence number: a total order over all
+	// recorded events, assigned atomically at Record time. Timelines and
+	// tails are returned in ascending Seq.
+	Seq  uint64    `json:"seq"`
+	Type EventType `json:"type"`
+	Ride int64     `json:"ride_id"`
+	// Unix is the wall-clock record time in seconds. Zero on input is
+	// filled in by Record.
+	Unix float64 `json:"unix"`
+	// TraceID cross-links the event to the span tree of the operation
+	// that caused it (GET /v1/traces/{id}), when that operation was
+	// trace-recorded.
+	TraceID string `json:"trace_id,omitempty"`
+	// Value carries the event's principal quantity in meters — the
+	// detour limit for created, the exact splice detour for booked /
+	// splice_committed, the attempt number for book_conflict_retried,
+	// the via ETA for picked_up / dropped_off.
+	Value float64 `json:"value,omitempty"`
+	// Note is a short free-form annotation ("seats=4", "pu=117 do=349").
+	Note string `json:"note,omitempty"`
+}
+
+// Sizing defaults.
+const (
+	DefaultPerRideCapacity = 32
+	DefaultMaxRides        = 4096
+	DefaultTailCapacity    = 4096
+	DefaultStripes         = 8
+)
+
+// Config sizes a Journal.
+type Config struct {
+	// PerRideCapacity is each ride ring's event capacity (0 → 32).
+	PerRideCapacity int
+	// MaxRides bounds the number of per-ride rings retained across all
+	// stripes (0 → 4096). When full, terminal (completed) rides are
+	// evicted first, then the oldest ride.
+	MaxRides int
+	// TailCapacity is the global tail's total capacity (0 → 4096). The
+	// tail is striped with the ride table — each stripe retains its
+	// share of the most recent events — so Tail approximates "the most
+	// recent TailCapacity events fleet-wide" without a global lock.
+	TailCapacity int
+	// Stripes is the lock-stripe count for the per-ride table (0 → 8).
+	Stripes int
+	// Registry, when non-nil, registers the xar_ride_events_total{type}
+	// counters (one per event type, eagerly, so a fresh process exposes
+	// every series at zero).
+	Registry *telemetry.Registry
+}
+
+// Journal is the ride-lifecycle event log. Safe for concurrent use; a
+// nil *Journal is a valid no-op recorder (Record returns immediately).
+type Journal struct {
+	seq        atomic.Uint64
+	perRideCap int
+	stripes    []stripe
+	counters   map[EventType]*telemetry.Counter
+}
+
+// stripe is one lock-striped slice of the per-ride table plus its share
+// of the global tail. Recording takes exactly one stripe lock: both the
+// ride ring and the tail slot live behind the same mutex, so the hot
+// path never funnels every goroutine through a journal-wide lock.
+type stripe struct {
+	mu    sync.Mutex
+	rides map[int64]*rideLog
+	order []int64 // first-event order, scanned for eviction
+	max   int     // ride capacity of this stripe
+	tail  eventRing
+}
+
+// rideLog is one ride's fixed-capacity event ring.
+type rideLog struct {
+	buf      []Event
+	next     int
+	full     bool // the ring wrapped: oldest events were overwritten
+	terminal bool // a Completed event was recorded
+}
+
+func (l *rideLog) add(ev Event) {
+	l.buf[l.next] = ev
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+}
+
+// events returns the retained events oldest-first (ring order).
+func (l *rideLog) events() []Event {
+	if !l.full {
+		return append([]Event(nil), l.buf[:l.next]...)
+	}
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// New builds a journal.
+func New(cfg Config) *Journal {
+	if cfg.PerRideCapacity <= 0 {
+		cfg.PerRideCapacity = DefaultPerRideCapacity
+	}
+	if cfg.MaxRides <= 0 {
+		cfg.MaxRides = DefaultMaxRides
+	}
+	if cfg.TailCapacity <= 0 {
+		cfg.TailCapacity = DefaultTailCapacity
+	}
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = DefaultStripes
+	}
+	if cfg.Stripes > cfg.MaxRides {
+		cfg.Stripes = cfg.MaxRides
+	}
+	j := &Journal{
+		perRideCap: cfg.PerRideCapacity,
+		stripes:    make([]stripe, cfg.Stripes),
+	}
+	per := cfg.MaxRides / cfg.Stripes
+	if per < 1 {
+		per = 1
+	}
+	tailPer := cfg.TailCapacity / cfg.Stripes
+	if tailPer < 1 {
+		tailPer = 1
+	}
+	for i := range j.stripes {
+		j.stripes[i].rides = make(map[int64]*rideLog)
+		j.stripes[i].max = per
+		j.stripes[i].tail.init(tailPer)
+	}
+	if cfg.Registry != nil {
+		j.counters = make(map[EventType]*telemetry.Counter, len(Types()))
+		for _, t := range Types() {
+			j.counters[t] = cfg.Registry.Counter("xar_ride_events_total",
+				"Ride-lifecycle events recorded by the journal, by event type.",
+				telemetry.L("type", string(t)))
+		}
+	}
+	return j
+}
+
+// Record files one event: assigns its sequence number, stamps the wall
+// clock when Unix is zero, bumps the type's counter, and appends to the
+// ride's ring and the global tail. Nil-receiver-safe — an engine without
+// a journal pays one branch.
+func (j *Journal) Record(ev Event) {
+	if j == nil {
+		return
+	}
+	ev.Seq = j.seq.Add(1)
+	if ev.Unix == 0 {
+		ev.Unix = float64(time.Now().UnixNano()) / 1e9
+	}
+	if c := j.counters[ev.Type]; c != nil {
+		c.Inc()
+	}
+	st := &j.stripes[uint64(ev.Ride)%uint64(len(j.stripes))]
+	st.mu.Lock()
+	l := st.rides[ev.Ride]
+	if l == nil {
+		if len(st.rides) >= st.max {
+			st.evict()
+		}
+		l = &rideLog{buf: make([]Event, j.perRideCap)}
+		st.rides[ev.Ride] = l
+		st.order = append(st.order, ev.Ride)
+	}
+	l.add(ev)
+	if ev.Type == Completed {
+		l.terminal = true
+	}
+	st.tail.add(ev)
+	st.mu.Unlock()
+}
+
+// evict drops one ride log to make room: the oldest terminal ride if any
+// (finished rides' timelines are kept only as long as space allows),
+// else the oldest ride outright. Called with the stripe lock held.
+func (st *stripe) evict() {
+	victim := -1
+	for i, id := range st.order {
+		if l := st.rides[id]; l != nil && l.terminal {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+	}
+	delete(st.rides, st.order[victim])
+	st.order = append(st.order[:victim], st.order[victim+1:]...)
+}
+
+// Timeline returns the retained events of one ride in ascending sequence
+// order, or nil when the ride has no retained events. Nil-receiver-safe.
+func (j *Journal) Timeline(ride int64) []Event {
+	evs, _ := j.timeline(ride)
+	return evs
+}
+
+// timeline additionally reports whether the ride's ring wrapped (oldest
+// events lost) — the auditor needs that to avoid false "before created"
+// causality findings on long-lived rides.
+func (j *Journal) timeline(ride int64) ([]Event, bool) {
+	if j == nil {
+		return nil, false
+	}
+	st := &j.stripes[uint64(ride)%uint64(len(j.stripes))]
+	st.mu.Lock()
+	l := st.rides[ride]
+	var evs []Event
+	wrapped := false
+	if l != nil {
+		evs = l.events()
+		wrapped = l.full
+	}
+	st.mu.Unlock()
+	// Concurrent recorders can interleave between sequence assignment
+	// and ring insert, so ring order is only approximately Seq order;
+	// the query surface guarantees ascending Seq.
+	sort.Slice(evs, func(a, b int) bool { return evs[a].Seq < evs[b].Seq })
+	return evs, wrapped
+}
+
+// LastTraceID returns the most recent non-empty trace ID in the ride's
+// timeline ("" when none) — the cross-link the auditor follows to force
+// an offending ride's trace into the error ring.
+func (j *Journal) LastTraceID(ride int64) string {
+	evs := j.Timeline(ride)
+	for i := len(evs) - 1; i >= 0; i-- {
+		if evs[i].TraceID != "" {
+			return evs[i].TraceID
+		}
+	}
+	return ""
+}
+
+// PerRide calls f once per tracked ride with its retained events
+// (ascending Seq) and whether the ride's ring wrapped, until f returns
+// false. Each stripe's ride set is snapshotted under its lock and f runs
+// outside any lock, so f may query the journal. Iteration order is
+// unspecified.
+func (j *Journal) PerRide(f func(ride int64, events []Event, wrapped bool) bool) {
+	if j == nil {
+		return
+	}
+	for si := range j.stripes {
+		st := &j.stripes[si]
+		st.mu.Lock()
+		ids := append([]int64(nil), st.order...)
+		st.mu.Unlock()
+		for _, id := range ids {
+			evs, wrapped := j.timeline(id)
+			if evs == nil {
+				continue // evicted between snapshot and read
+			}
+			if !f(id, evs, wrapped) {
+				return
+			}
+		}
+	}
+}
+
+// TailFilter selects events for Tail.
+type TailFilter struct {
+	// Type keeps only events of this type ("" = all).
+	Type EventType
+	// SinceSeq keeps only events with Seq > SinceSeq (poll cursor).
+	SinceSeq uint64
+	// Limit caps the result to the most recent Limit matching events
+	// (0 → 100).
+	Limit int
+}
+
+const defaultTailLimit = 100
+
+// Tail returns the most recent matching events from the striped tail
+// rings, merged and ascending by Seq. Nil-receiver-safe.
+func (j *Journal) Tail(f TailFilter) []Event {
+	if j == nil {
+		return nil
+	}
+	limit := f.Limit
+	if limit <= 0 {
+		limit = defaultTailLimit
+	}
+	var all []Event
+	for si := range j.stripes {
+		st := &j.stripes[si]
+		st.mu.Lock()
+		all = st.tail.appendTo(all)
+		st.mu.Unlock()
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Seq < all[b].Seq })
+	out := make([]Event, 0, limit)
+	for _, ev := range all {
+		if f.Type != "" && ev.Type != f.Type {
+			continue
+		}
+		if ev.Seq <= f.SinceSeq {
+			continue
+		}
+		out = append(out, ev)
+	}
+	if len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// LastSeq returns the highest sequence number assigned so far — the
+// cursor a poller passes back as TailFilter.SinceSeq. Nil-receiver-safe.
+func (j *Journal) LastSeq() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.seq.Load()
+}
+
+// Stats summarizes journal occupancy.
+type Stats struct {
+	// Rides is the number of per-ride rings currently retained.
+	Rides int `json:"rides"`
+	// Events is the total number of events ever recorded (== LastSeq).
+	Events uint64 `json:"events"`
+}
+
+// Stats reports current occupancy. Nil-receiver-safe.
+func (j *Journal) Stats() Stats {
+	if j == nil {
+		return Stats{}
+	}
+	s := Stats{Events: j.seq.Load()}
+	for i := range j.stripes {
+		st := &j.stripes[i]
+		st.mu.Lock()
+		s.Rides += len(st.rides)
+		st.mu.Unlock()
+	}
+	return s
+}
+
+// eventRing is one stripe's tail share: a fixed-capacity
+// overwrite-oldest buffer of event values. Not self-locking — callers
+// hold the owning stripe's mutex.
+type eventRing struct {
+	buf  []Event
+	next int
+	full bool
+}
+
+func (r *eventRing) init(capacity int) { r.buf = make([]Event, capacity) }
+
+func (r *eventRing) add(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *eventRing) appendTo(out []Event) []Event {
+	if !r.full {
+		return append(out, r.buf[:r.next]...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}

@@ -70,6 +70,13 @@ func DefaultSLOs(searchP95 time.Duration) []telemetry.Objective {
 			"HTTP 5xx responses < 1% of requests",
 			httpRequestsName, telemetry.L("code", "5xx"),
 			httpRequestsName, nil, 0.01),
+		// Any invariant violation should burn through this budget and
+		// page almost immediately; a deployment without an auditor has
+		// no such series and the objective reports no-data (ok).
+		telemetry.RatioObjective("audit-violations",
+			"invariant-audit violations < 1% of sweeps",
+			"xar_audit_violations_total", nil,
+			"xar_audit_sweeps_total", nil, 0.01),
 	}
 }
 
@@ -153,6 +160,10 @@ func (s *Server) handleDebugBundle(w http.ResponseWriter, r *http.Request) {
 //
 //	config.json          engine configuration + world dimensions
 //	slo.json             objective states (when an SLO engine is wired)
+//	audit.json           invariant-auditor state + last sweep report
+//	                     (when an auditor is wired)
+//	audit_timelines.json journaled timelines of the ≤10 most recent
+//	                     violating rides (auditor + journal wired)
 //	history.json         recorded metric time-series (when recording)
 //	metrics.prom         current scrape, Prometheus text format
 //	shards.json          per-shard ride occupancy (index balance)
@@ -202,6 +213,26 @@ func (s *Server) WriteDebugBundle(w io.Writer) error {
 			Objectives: s.slo.Statuses(),
 		}); err != nil {
 			return err
+		}
+	}
+	if s.auditor != nil {
+		if err := addJSON("audit.json", map[string]any{
+			"total_violations":       s.auditor.TotalViolations(),
+			"recent_violating_rides": s.auditor.RecentViolatingRides(),
+			"last_report":            s.auditor.LastReport(),
+		}); err != nil {
+			return err
+		}
+		if s.journal != nil {
+			timelines := []TimelineResponse{}
+			for _, id := range s.auditor.RecentViolatingRides() {
+				if evs := s.journal.Timeline(id); evs != nil {
+					timelines = append(timelines, TimelineResponse{RideID: id, Events: evs})
+				}
+			}
+			if err := addJSON("audit_timelines.json", timelines); err != nil {
+				return err
+			}
 		}
 	}
 	if s.recorder != nil {

@@ -295,8 +295,8 @@ func TestDebugBundle(t *testing.T) {
 	if err := json.Unmarshal(members["slo.json"], &slo); err != nil {
 		t.Fatalf("slo.json: %v", err)
 	}
-	if len(slo.Objectives) != 3 {
-		t.Fatalf("slo.json objectives = %d, want 3", len(slo.Objectives))
+	if len(slo.Objectives) != 4 {
+		t.Fatalf("slo.json objectives = %d, want 4", len(slo.Objectives))
 	}
 	var hist telemetry.HistoryDump
 	if err := json.Unmarshal(members["history.json"], &hist); err != nil {

@@ -24,12 +24,15 @@ func TestMetricNameHygiene(t *testing.T) {
 	telemetry.RegisterRuntimeMetrics(env.reg)
 
 	// Materialize lazily registered families: a full create/search/book
-	// cycle through HTTP plus a failed booking for the error counters.
+	// cycle through HTTP plus a failed booking for the error counters, and
+	// an audit sweep for the sweep counter (the journal and violation
+	// families register eagerly).
 	body := env.searchBody(t)
 	if resp := env.doRaw(t, "POST", "/v1/search", body, nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("search: %d", resp.StatusCode)
 	}
 	env.doRaw(t, "POST", "/v1/bookings", `{"ride_id": 999999}`, nil)
+	env.auditor.Audit()
 
 	resp := env.doRaw(t, "GET", "/v1/metrics/prom", "", nil)
 	if resp.StatusCode != http.StatusOK {
@@ -89,6 +92,9 @@ func TestMetricNameHygiene(t *testing.T) {
 		"xar_op_errors_total",
 		"xar_http_requests_total",
 		"xar_http_request_duration_seconds",
+		"xar_ride_events_total",
+		"xar_audit_violations_total",
+		"xar_audit_sweeps_total",
 		"go_goroutines",
 		"go_gc_pauses_seconds",
 	} {

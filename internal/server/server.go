@@ -14,6 +14,8 @@
 //	POST   /v1/bookings         confirm a match
 //	DELETE /v1/bookings         cancel a booking
 //	POST   /v1/track            advance a ride (by time or GPS report)
+//	GET    /v1/rides/{id}/timeline  the ride's journaled event timeline
+//	GET    /v1/events           global event tail (filter: type, since, limit)
 //	GET    /v1/metrics          engine counters
 //	GET    /v1/metrics/prom     full telemetry, Prometheus text format
 //	GET    /v1/metrics/json     full telemetry, JSON with percentiles
@@ -36,9 +38,11 @@ import (
 	"strconv"
 	"time"
 
+	"xar/internal/audit"
 	"xar/internal/core"
 	"xar/internal/geo"
 	"xar/internal/index"
+	"xar/internal/journal"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
 )
@@ -55,6 +59,8 @@ type Server struct {
 	recorder    *telemetry.Recorder
 	slo         *telemetry.SLOEngine
 	cpuProfiler *telemetry.CPUProfiler
+	journal     *journal.Journal
+	auditor     *audit.Auditor
 	accessLog   *slog.Logger
 	inflight    *telemetry.Gauge
 	started     time.Time
@@ -105,6 +111,8 @@ func New(eng *core.Engine, social *core.SocialGraph, opts ...Option) *Server {
 	handle("POST /v1/rides", "/v1/rides", s.handleCreateRide)
 	handle("GET /v1/rides/{id}", "/v1/rides/{id}", s.handleGetRide)
 	handle("GET /v1/rides/{id}/route", "/v1/rides/{id}/route", s.handleRideRoute)
+	handle("GET /v1/rides/{id}/timeline", "/v1/rides/{id}/timeline", s.handleRideTimeline)
+	handle("GET /v1/events", "/v1/events", s.handleEvents)
 	handle("DELETE /v1/rides/{id}", "/v1/rides/{id}", s.handleDeleteRide)
 	handle("POST /v1/search", "/v1/search", s.handleSearch)
 	handle("POST /v1/search/batch", "/v1/search/batch", s.handleSearchBatch)
@@ -511,13 +519,17 @@ type HealthResponse struct {
 	Engine        core.Metrics `json:"engine"`
 	LookToBook    float64      `json:"look_to_book"`
 	MatchRate     float64      `json:"match_rate"`
+	// Audit summarizes the invariant auditor (WithAuditor): cumulative
+	// violation count and the last sweep's coverage. Any violation ever
+	// found escalates Status to "page".
+	Audit *audit.Health `json:"audit,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	d := s.eng.Disc()
 	m := s.eng.Metrics()
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:        s.sloStatus(),
+	resp := HealthResponse{
+		Status:        s.healthStatus(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		ActiveRides:   s.eng.NumRides(),
 		Clusters:      d.NumClusters(),
@@ -526,7 +538,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Engine:        m,
 		LookToBook:    m.LookToBookRatio(),
 		MatchRate:     m.MatchRate(),
-	})
+	}
+	if s.auditor != nil {
+		h := s.auditor.Health()
+		resp.Audit = &h
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- plumbing ---

@@ -13,19 +13,24 @@ import (
 	"testing"
 	"time"
 
+	"xar/internal/audit"
 	"xar/internal/core"
 	"xar/internal/discretize"
+	"xar/internal/journal"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
 )
 
 // tracedEnv is testEnv plus an always-sampling tracer shared between the
-// engine and the server — the wiring a production binary uses, at rate 1
-// so every request records.
+// engine and the server, a ride-event journal and an invariant auditor —
+// the full wiring a production binary uses, at trace rate 1 so every
+// request records.
 type tracedEnv struct {
 	*testEnv
-	tracer *telemetry.Tracer
-	reg    *telemetry.Registry
+	tracer  *telemetry.Tracer
+	reg     *telemetry.Registry
+	journal *journal.Journal
+	auditor *audit.Auditor
 }
 
 func newTracedEnv(t testing.TB) *tracedEnv {
@@ -40,19 +45,35 @@ func newTracedEnv(t testing.TB) *tracedEnv {
 	}
 	reg := telemetry.NewRegistry()
 	tr := telemetry.NewTracer(telemetry.TracerConfig{SampleRate: 1})
+	jr := journal.New(journal.Config{Registry: reg})
 	cfg := core.DefaultConfig()
 	cfg.Telemetry = reg
 	cfg.Tracer = tr
+	cfg.Journal = jr
 	eng, err := core.NewEngine(d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := httptest.NewServer(New(eng, nil, WithTelemetry(reg), WithTracer(tr)).Handler())
+	auditor := audit.New(audit.Config{
+		Target: audit.Target{
+			View:    eng.Index(),
+			Graph:   city.Graph,
+			Epsilon: d.Epsilon(),
+			Journal: jr,
+		},
+		Registry:   reg,
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+		TraceStore: tr.Store(),
+	})
+	s := httptest.NewServer(New(eng, nil,
+		WithTelemetry(reg), WithTracer(tr), WithJournal(jr), WithAuditor(auditor)).Handler())
 	t.Cleanup(s.Close)
 	return &tracedEnv{
 		testEnv: &testEnv{srv: s, eng: eng, city: city},
 		tracer:  tr,
 		reg:     reg,
+		journal: jr,
+		auditor: auditor,
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"xar/internal/audit"
 	"xar/internal/geo"
 	"xar/internal/stats"
 	"xar/internal/telemetry"
@@ -89,6 +90,14 @@ type Config struct {
 	// replay executes. Pair it with Telemetry over the same registry;
 	// do not Start() the recorder's wall-clock loop as well.
 	Recorder *telemetry.Recorder
+	// Auditor, when non-nil, runs a synchronous invariant sweep whenever
+	// the replay's simulated clock advances by AuditInterval seconds —
+	// the correctness twin of Recorder ticking. Do not Start() the
+	// auditor's wall-clock loop as well; a replay outruns wall time.
+	Auditor *audit.Auditor
+	// AuditInterval is the simulated-seconds cadence for Auditor
+	// (0 → 300).
+	AuditInterval float64
 }
 
 // DefaultConfig returns the paper's simulation settings.
@@ -150,6 +159,14 @@ func Run(sys System, trips []workload.Trip, cfg Config) (*Result, error) {
 	if cfg.Recorder != nil {
 		snapEvery = cfg.Recorder.Interval().Seconds()
 	}
+	lastAudit := -1.0
+	auditEvery := 0.0
+	if cfg.Auditor != nil {
+		auditEvery = cfg.AuditInterval
+		if auditEvery <= 0 {
+			auditEvery = 300
+		}
+	}
 	for _, trip := range trips {
 		now := trip.RequestTime
 		if cfg.TrackInterval > 0 && (lastTrack < 0 || now-lastTrack >= cfg.TrackInterval) {
@@ -159,6 +176,10 @@ func Run(sys System, trips []workload.Trip, cfg Config) (*Result, error) {
 		if snapEvery > 0 && (lastSnap < 0 || now-lastSnap >= snapEvery) {
 			cfg.Recorder.TickAt(now)
 			lastSnap = now
+		}
+		if auditEvery > 0 && (lastAudit < 0 || now-lastAudit >= auditEvery) {
+			cfg.Auditor.Audit()
+			lastAudit = now
 		}
 		res.Requests++
 

@@ -230,3 +230,21 @@ func (r *traceRing) appendTo(dst []*TraceData) []*TraceData {
 	}
 	return dst
 }
+
+// ForceError copies the stored trace with the given ID into the
+// always-keep error ring. The invariant auditor files the offending
+// ride's most recent trace here when a violation implicates it, so the
+// trace survives normal-ring churn for the post-incident look. Reports
+// whether the trace was found; a trace already in the error ring is not
+// duplicated.
+func (s *TraceStore) ForceError(id TraceID) bool {
+	if s.errs.get(id) != nil {
+		return true
+	}
+	td, ok := s.Get(id)
+	if !ok {
+		return false
+	}
+	s.errs.add(td)
+	return true
+}
