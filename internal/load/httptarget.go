@@ -1,0 +1,334 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"xar/internal/index"
+	"xar/internal/roadnet"
+	"xar/internal/server"
+	"xar/internal/telemetry"
+	"xar/internal/workload"
+)
+
+// HTTPTarget drives the JSON API of a running xarserver (or an
+// httptest.Server wrapping internal/server) — the full-stack target:
+// measured latency includes JSON codecs, middleware, and the transport,
+// which is what a rider-facing deployment actually serves.
+type HTTPTarget struct {
+	BaseURL string
+	// Client is the HTTP client to use (nil → a dedicated client with a
+	// large idle-connection pool, so open-loop bursts are not serialized
+	// by the default two idle conns per host).
+	Client *http.Client
+	Params TargetParams
+
+	st targetState
+}
+
+// NewHTTPTarget builds a target for baseURL with default params.
+func NewHTTPTarget(baseURL string) *HTTPTarget {
+	return &HTTPTarget{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		Client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        1024,
+				MaxIdleConnsPerHost: 1024,
+			},
+			Timeout: 2 * time.Minute,
+		},
+		Params: DefaultTargetParams(),
+	}
+}
+
+func (ht *HTTPTarget) client() *http.Client {
+	if ht.Client != nil {
+		return ht.Client
+	}
+	return http.DefaultClient
+}
+
+// doJSON issues one request and decodes a 2xx response into out (when
+// non-nil). Non-2xx statuses return the status code with a nil error —
+// the caller decides which statuses are domain outcomes.
+func (ht *HTTPTarget) doJSON(method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return 0, err
+		}
+		rd = &buf
+	}
+	req, err := http.NewRequest(method, ht.BaseURL+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := ht.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return resp.StatusCode, err
+			}
+		}
+		return resp.StatusCode, nil
+	}
+	// Drain so the connection is reusable.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	return resp.StatusCode, nil
+}
+
+// benignStatus are the HTTP statuses that map to domain rejections —
+// the wire form of the errors benign() filters on the engine target.
+func benignStatus(code int) bool {
+	switch code {
+	case http.StatusNotFound, http.StatusConflict, http.StatusUnprocessableEntity:
+		return true
+	default:
+		return false
+	}
+}
+
+func statusErr(op Op, code int) error {
+	if code >= 200 && code < 300 {
+		return nil
+	}
+	if benignStatus(code) {
+		return nil
+	}
+	return fmt.Errorf("load: %s returned HTTP %d", op, code)
+}
+
+func (ht *HTTPTarget) searchRequest(t workload.Trip) server.SearchRequest {
+	return server.SearchRequest{
+		Source:    server.PointJSON{Lat: t.Pickup.Lat, Lng: t.Pickup.Lng},
+		Dest:      server.PointJSON{Lat: t.Dropoff.Lat, Lng: t.Dropoff.Lng},
+		Earliest:  t.RequestTime,
+		Latest:    t.RequestTime + ht.Params.WindowSlack,
+		WalkLimit: ht.Params.WalkLimit,
+	}
+}
+
+// Do implements Target.
+func (ht *HTTPTarget) Do(op Op, t workload.Trip) Result {
+	switch op {
+	case OpCreate:
+		var resp server.CreateRideResponse
+		code, err := ht.doJSON(http.MethodPost, "/v1/rides", server.CreateRideRequest{
+			Source:      server.PointJSON{Lat: t.Pickup.Lat, Lng: t.Pickup.Lng},
+			Dest:        server.PointJSON{Lat: t.Dropoff.Lat, Lng: t.Dropoff.Lng},
+			Departure:   t.RequestTime,
+			Seats:       ht.Params.Seats,
+			DetourLimit: ht.Params.DetourLimit,
+		}, &resp)
+		if err != nil {
+			return Result{Err: err}
+		}
+		if code == http.StatusCreated {
+			ht.st.addRide(index.RideID(resp.RideID))
+			return Result{}
+		}
+		return Result{Err: statusErr(op, code)}
+
+	case OpSearch:
+		var resp server.SearchResponse
+		code, err := ht.doJSON(http.MethodPost, "/v1/search", ht.searchRequest(t), &resp)
+		if err != nil {
+			return Result{Searched: true, Err: err}
+		}
+		return Result{Searched: true, Matched: len(resp.Matches) > 0, Err: statusErr(op, code)}
+
+	case OpBook:
+		sreq := ht.searchRequest(t)
+		var sresp server.SearchResponse
+		code, err := ht.doJSON(http.MethodPost, "/v1/search", sreq, &sresp)
+		if err != nil {
+			return Result{Searched: true, Err: err}
+		}
+		if code != http.StatusOK || len(sresp.Matches) == 0 {
+			return Result{Searched: true, Err: statusErr(op, code)}
+		}
+		var bk server.BookingJSON
+		code, err = ht.doJSON(http.MethodPost, "/v1/bookings", server.BookRequest{
+			Match:   sresp.Matches[0],
+			Request: sreq,
+		}, &bk)
+		if err != nil {
+			return Result{Searched: true, Matched: true, Err: err}
+		}
+		if code == http.StatusCreated {
+			ht.st.addBooking(bookingRef{
+				ride:    index.RideID(bk.RideID),
+				pickup:  roadnet.NodeID(bk.PickupNode),
+				dropoff: roadnet.NodeID(bk.DropoffNode),
+			})
+			return Result{Searched: true, Matched: true, Booked: true}
+		}
+		return Result{Searched: true, Matched: true, Err: statusErr(op, code)}
+
+	case OpTrack:
+		id, ok := ht.st.pickRide()
+		if !ok {
+			return ht.Do(OpSearch, t)
+		}
+		now := t.RequestTime
+		var resp server.TrackResponse
+		code, err := ht.doJSON(http.MethodPost, "/v1/track", server.TrackRequest{
+			RideID: int64(id),
+			Now:    &now,
+		}, &resp)
+		if err != nil {
+			return Result{Err: err}
+		}
+		if code != http.StatusOK || resp.Arrived {
+			ht.st.dropRide(id)
+		}
+		return Result{Err: statusErr(op, code)}
+
+	case OpCancel:
+		b, ok := ht.st.popBooking()
+		if !ok {
+			return ht.Do(OpSearch, t)
+		}
+		code, err := ht.doJSON(http.MethodDelete, "/v1/bookings", server.CancelRequest{
+			RideID:      int64(b.ride),
+			PickupNode:  int64(b.pickup),
+			DropoffNode: int64(b.dropoff),
+		}, nil)
+		if err != nil {
+			return Result{Err: err}
+		}
+		return Result{Err: statusErr(op, code)}
+	}
+	return Result{Err: fmt.Errorf("load: unknown op %v", op)}
+}
+
+// ServerStats is the server-side view of one rate step: the engine's
+// own latency histogram over the step window (from /v1/metrics/history),
+// the SLO burn state, and the server process heap. Client-observed
+// latency includes queueing the server never sees; comparing the two is
+// the cross-check that the harness and the server agree on service time
+// while disagreeing — correctly — about waiting time.
+type ServerStats struct {
+	Op            string  `json:"op"`
+	WindowSeconds float64 `json:"window_s"`
+	RatePerSec    float64 `json:"rate_per_s"`
+	P50           float64 `json:"p50_ms"`
+	P95           float64 `json:"p95_ms"`
+	P99           float64 `json:"p99_ms"`
+	SLOStatus     string  `json:"slo_status,omitempty"`
+	HeapAlloc     uint64  `json:"heap_alloc_bytes,omitempty"`
+}
+
+// ScrapeServer pulls the server's own view of the trailing window:
+// op-duration quantiles for op from /v1/metrics/history, burn state
+// from /v1/slo (skipped when the server runs without an SLO engine),
+// and heap from the Prometheus exposition.
+func ScrapeServer(client *http.Client, baseURL, op string, window time.Duration) (*ServerStats, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	baseURL = strings.TrimRight(baseURL, "/")
+	st := &ServerStats{Op: op, WindowSeconds: window.Seconds()}
+
+	url := fmt.Sprintf("%s/v1/metrics/history?name=%s&window_s=%g&max_points=1",
+		baseURL, telemetry.OpDurationName, window.Seconds())
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: metrics history returned HTTP %d", resp.StatusCode)
+	}
+	var dump telemetry.HistoryDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return nil, err
+	}
+	// A series exists for every op the engine pre-registered; only a
+	// point carrying quantiles (count delta > 0 inside the window) is
+	// evidence of recorded traffic — anything less must fail loudly
+	// rather than fabricate zeros for the cross-check.
+	found := false
+	for _, s := range dump.Series {
+		if s.Labels["op"] != op || len(s.Points) == 0 {
+			continue
+		}
+		pt := s.Points[len(s.Points)-1]
+		if pt.P99 == nil {
+			continue
+		}
+		if pt.Rate != nil {
+			st.RatePerSec = *pt.Rate
+		}
+		const ms = 1e3
+		if pt.P50 != nil {
+			st.P50 = *pt.P50 * ms
+		}
+		if pt.P95 != nil {
+			st.P95 = *pt.P95 * ms
+		}
+		st.P99 = *pt.P99 * ms
+		found = true
+		break
+	}
+	if !found {
+		return nil, fmt.Errorf("load: no recorded %s traffic for op=%q in history window", telemetry.OpDurationName, op)
+	}
+
+	if resp, err := client.Get(baseURL + "/v1/slo"); err == nil {
+		func() {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return // SLOs disabled: leave status empty
+			}
+			var slo struct {
+				Status string `json:"status"`
+			}
+			if json.NewDecoder(resp.Body).Decode(&slo) == nil {
+				st.SLOStatus = slo.Status
+			}
+		}()
+	}
+
+	if heap, err := scrapeGauge(client, baseURL, "go_memstats_heap_alloc_bytes"); err == nil {
+		st.HeapAlloc = uint64(heap)
+	}
+	return st, nil
+}
+
+// scrapeGauge reads one unlabeled gauge from the Prometheus exposition.
+func scrapeGauge(client *http.Client, baseURL, name string) (float64, error) {
+	resp, err := client.Get(baseURL + "/v1/metrics/prom")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[len(name)+1:], "%g", &v); err != nil {
+			return 0, err
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("load: gauge %s not in exposition", name)
+}

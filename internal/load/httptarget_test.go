@@ -1,0 +1,128 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"xar/internal/core"
+	"xar/internal/experiments"
+	"xar/internal/server"
+	"xar/internal/telemetry"
+	"xar/internal/workload"
+)
+
+// newHTTPEnv stands up an httptest server over a small engine with
+// telemetry and a flight recorder — the same wiring cmd/xarserver uses —
+// and seeds it with ride offers.
+func newHTTPEnv(t testing.TB) (*HTTPTarget, []workload.Trip, *telemetry.Recorder) {
+	t.Helper()
+	sc := experiments.DefaultScale()
+	sc.CityRows, sc.CityCols = 16, 10
+	sc.Requests = 600
+	w, err := experiments.BuildWorld(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(reg)
+	w.Telemetry = reg
+	eng, err := w.NewXAREngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.NewRecorder(reg, telemetry.RecorderConfig{
+		Interval:  time.Second,
+		Retention: time.Minute,
+	})
+	srv := server.New(eng, core.NewSocialGraph(),
+		server.WithTelemetry(reg), server.WithRecorder(rec))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	target := NewHTTPTarget(ts.URL)
+	offers, requests := w.SplitOffersRequests()
+	for _, o := range offers {
+		if res := target.Do(OpCreate, o); res.Err != nil {
+			t.Fatalf("seeding offer: %v", res.Err)
+		}
+	}
+	return target, requests, rec
+}
+
+func TestHTTPTargetRun(t *testing.T) {
+	target, trips, _ := newHTTPEnv(t)
+	rep, err := Run(context.Background(), target, Config{
+		Schedule:    Poisson(800, 400, 9),
+		Trips:       trips,
+		Seed:        4,
+		MaxInflight: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 400 {
+		t.Fatalf("ops %d, want 400", rep.Ops)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("harness errors over HTTP: %d (%+v)", rep.Errors, rep.PerOp)
+	}
+	if rep.Searches == 0 || rep.Matched == 0 {
+		t.Fatalf("searches %d matched %d", rep.Searches, rep.Matched)
+	}
+}
+
+func TestScrapeServerCrossCheck(t *testing.T) {
+	target, trips, rec := newHTTPEnv(t)
+	// History points are deltas between snapshots: anchor one before the
+	// run so the post-run tick covers the traffic.
+	rec.TickNow()
+	rep, err := Run(context.Background(), target, Config{
+		Schedule:    Constant(800, 400),
+		Trips:       trips,
+		Seed:        5,
+		MaxInflight: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot the instruments so /v1/metrics/history has a fresh point
+	// covering the run — the same TickNow the sweep's Observe hook uses.
+	rec.TickNow()
+
+	st, err := ScrapeServer(target.Client, target.BaseURL, "search", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Op != "search" {
+		t.Fatalf("op %q", st.Op)
+	}
+	if st.P99 <= 0 {
+		t.Fatalf("server-side p99 %v not captured", st.P99)
+	}
+	// Cross-check: the client's end-to-end p99 (HTTP + queueing) must
+	// dominate the server's in-handler search p99.
+	if rep.Latency.P99 < st.P99 {
+		t.Errorf("client p99 %.3f ms below server-side search p99 %.3f ms", rep.Latency.P99, st.P99)
+	}
+	if st.HeapAlloc == 0 {
+		t.Error("heap gauge not scraped from /v1/metrics/prom")
+	}
+	// No SLO engine wired in this env: status must stay empty, not error.
+	if st.SLOStatus != "" {
+		t.Errorf("unexpected SLO status %q", st.SLOStatus)
+	}
+}
+
+func TestScrapeServerNoTraffic(t *testing.T) {
+	target, _, rec := newHTTPEnv(t)
+	rec.TickNow()
+	rec.TickNow()
+	// The op=book series exists (the engine pre-registers instruments)
+	// but saw no traffic between snapshots: ScrapeServer must fail
+	// loudly, not fabricate zero quantiles.
+	if _, err := ScrapeServer(target.Client, target.BaseURL, "book", time.Minute); err == nil {
+		t.Fatal("expected error for op with no recorded traffic")
+	}
+}

@@ -1,0 +1,315 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xar/internal/telemetry"
+	"xar/internal/workload"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Schedule is the open-loop arrival plan (required).
+	Schedule Schedule
+	// Mix is the operation mix; zero value → DefaultMix.
+	Mix Mix
+	// Trips feeds request/offer coordinates; arrival i uses trip
+	// i mod len(Trips). Required, non-empty.
+	Trips []workload.Trip
+	// Seed makes the per-arrival op draw deterministic.
+	Seed int64
+	// MaxInflight bounds concurrently outstanding operations (0 =
+	// unbounded: one goroutine per scheduled arrival, the purest open
+	// loop). When the bound is hit, dispatch waits for a slot — but each
+	// arrival's intended send time is already fixed, so the wait is
+	// charged to the recorded latency, never omitted.
+	MaxInflight int
+	// ClosedLoop switches to the control arm: Workers goroutines issue
+	// the scheduled arrivals but each waits for its previous operation
+	// to complete first, measures from the *actual* send time, and never
+	// makes up for missed arrivals. This is exactly the coordinated-
+	// omission-prone harness the open loop exists to replace; it is kept
+	// for demonstration and regression tests.
+	ClosedLoop bool
+	// Workers is the closed-loop concurrency (0 → 4). Ignored open-loop.
+	Workers int
+}
+
+// Quantiles is a latency summary in milliseconds.
+type Quantiles struct {
+	P50  float64 `json:"p50_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+}
+
+func quantilesOf(h *telemetry.Histogram) Quantiles {
+	const ms = 1e3
+	return Quantiles{
+		P50:  h.Quantile(0.50) * ms,
+		P95:  h.Quantile(0.95) * ms,
+		P99:  h.Quantile(0.99) * ms,
+		P999: h.Quantile(0.999) * ms,
+	}
+}
+
+// OpReport is one op kind's share of a run.
+type OpReport struct {
+	Count   int64 `json:"count"`
+	Errors  int64 `json:"errors"`
+	Latency Quantiles
+}
+
+// MarshalJSON inlines the quantiles next to the counts.
+func (o OpReport) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(
+		`{"count":%d,"errors":%d,"p50_ms":%g,"p95_ms":%g,"p99_ms":%g,"p999_ms":%g}`,
+		o.Count, o.Errors, o.Latency.P50, o.Latency.P95, o.Latency.P99, o.Latency.P999)), nil
+}
+
+// Report is one run's outcome. All latency figures are measured from
+// the intended send time in open-loop mode (coordinated-omission-safe)
+// and from the actual send time in the closed-loop control arm.
+type Report struct {
+	Mode         string  `json:"mode"` // "open" or "closed"
+	OfferedRate  float64 `json:"offered_rate"`
+	AchievedRate float64 `json:"achieved_rate"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Ops          int64   `json:"ops"`
+	Errors       int64   `json:"errors"`
+	Searches     int64   `json:"searches"`
+	Matched      int64   `json:"matched"`
+	Bookings     int64   `json:"bookings"`
+	// MatchRate is matched searches / searches — the paper's headline
+	// quality metric, gated in CI alongside p99.
+	MatchRate float64             `json:"match_rate"`
+	Latency   Quantiles           `json:"latency"`
+	PerOp     map[string]OpReport `json:"per_op"`
+
+	// Hist is the overall latency histogram (seconds, log buckets) for
+	// callers that need more than the fixed quantiles.
+	Hist *telemetry.Histogram `json:"-"`
+}
+
+// LatencyBuckets is the harness histogram layout: 1 µs to 60 s, ten
+// log buckets per decade — finer than the serving DurationBuckets
+// because the harness must resolve both in-process µs searches and
+// multi-second queueing collapse past the saturation knee.
+func LatencyBuckets() []float64 {
+	return telemetry.LogBuckets(1e-6, 60, 10)
+}
+
+// Run executes one load run against target. It returns when every
+// scheduled arrival has completed, or ctx is cancelled (the report then
+// covers the operations that did run, alongside ctx's error).
+func Run(ctx context.Context, target Target, cfg Config) (*Report, error) {
+	if cfg.Schedule == nil {
+		return nil, errors.New("load: Config.Schedule is required")
+	}
+	if len(cfg.Trips) == 0 {
+		return nil, errors.New("load: Config.Trips is required")
+	}
+	if (cfg.Mix == Mix{}) {
+		cfg.Mix = DefaultMix()
+	}
+
+	// Pre-draw the op sequence so the mix is deterministic per seed and
+	// no rng lock is touched during dispatch.
+	n := cfg.Schedule.Len()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = cfg.Mix.pick(rng)
+	}
+
+	rec := newRecorderSet()
+	var done int64
+	start := time.Now()
+	if cfg.ClosedLoop {
+		done = runClosed(ctx, target, cfg, ops, rec, start)
+	} else {
+		done = runOpen(ctx, target, cfg, ops, rec, start)
+	}
+	wall := time.Since(start)
+
+	rep := &Report{
+		Mode:        "open",
+		OfferedRate: cfg.Schedule.OfferedRate(),
+		WallSeconds: wall.Seconds(),
+		Ops:         done,
+		Errors:      rec.errors.Load(),
+		Searches:    rec.searches.Load(),
+		Matched:     rec.matched.Load(),
+		Bookings:    rec.bookings.Load(),
+		Latency:     quantilesOf(rec.all),
+		PerOp:       rec.perOpReports(),
+		Hist:        rec.all,
+	}
+	if cfg.ClosedLoop {
+		rep.Mode = "closed"
+	}
+	if wall > 0 {
+		rep.AchievedRate = float64(done) / wall.Seconds()
+	}
+	if rep.Searches > 0 {
+		rep.MatchRate = float64(rep.Matched) / float64(rep.Searches)
+	}
+	return rep, ctx.Err()
+}
+
+// recorderSet is the run's accounting: one overall histogram, one per
+// op kind, and the outcome counters.
+type recorderSet struct {
+	all   *telemetry.Histogram
+	perOp [numOps]*telemetry.Histogram
+
+	opCount  [numOps]atomic.Int64
+	opErrors [numOps]atomic.Int64
+
+	errors   atomic.Int64
+	searches atomic.Int64
+	matched  atomic.Int64
+	bookings atomic.Int64
+}
+
+func newRecorderSet() *recorderSet {
+	rs := &recorderSet{all: telemetry.NewHistogram(LatencyBuckets())}
+	for i := range rs.perOp {
+		rs.perOp[i] = telemetry.NewHistogram(LatencyBuckets())
+	}
+	return rs
+}
+
+func (rs *recorderSet) record(op Op, lat time.Duration, res Result) {
+	rs.all.ObserveDuration(lat)
+	rs.perOp[op].ObserveDuration(lat)
+	rs.opCount[op].Add(1)
+	if res.Err != nil {
+		rs.errors.Add(1)
+		rs.opErrors[op].Add(1)
+	}
+	if res.Searched {
+		rs.searches.Add(1)
+		if res.Matched {
+			rs.matched.Add(1)
+		}
+	}
+	if res.Booked {
+		rs.bookings.Add(1)
+	}
+}
+
+func (rs *recorderSet) perOpReports() map[string]OpReport {
+	out := make(map[string]OpReport)
+	for op := Op(0); op < numOps; op++ {
+		c := rs.opCount[op].Load()
+		if c == 0 {
+			continue
+		}
+		out[op.String()] = OpReport{
+			Count:   c,
+			Errors:  rs.opErrors[op].Load(),
+			Latency: quantilesOf(rs.perOp[op]),
+		}
+	}
+	return out
+}
+
+// runOpen dispatches every arrival at its scheduled instant. Latency is
+// measured from the intended send time: if the dispatcher falls behind —
+// the inflight bound is saturated, or the scheduler starved us — the lag
+// is charged to the affected operations rather than silently dropped.
+func runOpen(ctx context.Context, target Target, cfg Config, ops []Op, rec *recorderSet, start time.Time) int64 {
+	var sem chan struct{}
+	if cfg.MaxInflight > 0 {
+		sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	var wg sync.WaitGroup
+	var done int64
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+
+dispatch:
+	for i := range ops {
+		intended := start.Add(cfg.Schedule.At(i))
+		if d := time.Until(intended); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-ctx.Done():
+				if !timer.Stop() {
+					<-timer.C
+				}
+				break dispatch
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			break dispatch
+		}
+		if sem != nil {
+			// Blocking here delays the *send*, never the schedule: the
+			// intended stamp above is already fixed, so the queueing this
+			// wait represents lands in the recorded latency.
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		wg.Add(1)
+		done++
+		go func(i int, intended time.Time) {
+			defer wg.Done()
+			res := target.Do(ops[i], cfg.Trips[i%len(cfg.Trips)])
+			rec.record(ops[i], time.Since(intended), res)
+			if sem != nil {
+				<-sem
+			}
+		}(i, intended)
+	}
+	wg.Wait()
+	return done
+}
+
+// runClosed is the coordinated-omission-prone control arm: each worker
+// paces itself against the schedule but only after its previous call
+// returned, measures from the actual send, and never backfills missed
+// arrivals — a stall therefore erases the very observations that would
+// have shown it.
+func runClosed(ctx context.Context, target Target, cfg Config, ops []Op, rec *recorderSet, start time.Time) int64 {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	var next, done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ops) || ctx.Err() != nil {
+					return
+				}
+				if d := time.Until(start.Add(cfg.Schedule.At(i))); d > 0 {
+					time.Sleep(d)
+				}
+				send := time.Now()
+				res := target.Do(ops[i], cfg.Trips[i%len(cfg.Trips)])
+				rec.record(ops[i], time.Since(send), res)
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return done.Load()
+}

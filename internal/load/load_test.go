@@ -1,0 +1,256 @@
+package load
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xar/internal/core"
+	"xar/internal/experiments"
+	"xar/internal/workload"
+)
+
+// newLoadEnv builds a small world and an engine pre-seeded with ride
+// offers, returning the engine target and the request-trip stream.
+func newLoadEnv(t testing.TB) (*EngineTarget, []workload.Trip, *core.Engine) {
+	t.Helper()
+	sc := experiments.DefaultScale()
+	sc.CityRows, sc.CityCols = 16, 10
+	sc.Requests = 600
+	w, err := experiments.BuildWorld(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := w.NewXAREngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := NewEngineTarget(eng)
+	offers, requests := w.SplitOffersRequests()
+	for _, o := range offers {
+		target.Do(OpCreate, o)
+	}
+	if eng.NumRides() == 0 {
+		t.Fatal("no offers seeded")
+	}
+	return target, requests, eng
+}
+
+func TestRunOpenLoopEngine(t *testing.T) {
+	target, trips, _ := newLoadEnv(t)
+	rep, err := Run(context.Background(), target, Config{
+		Schedule: Constant(2000, 500),
+		Trips:    trips,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" {
+		t.Fatalf("mode %q, want open", rep.Mode)
+	}
+	if rep.Ops != 500 {
+		t.Fatalf("ops %d, want 500", rep.Ops)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("harness errors: %d (per-op %+v)", rep.Errors, rep.PerOp)
+	}
+	if rep.Searches == 0 || rep.MatchRate <= 0 || rep.MatchRate > 1 {
+		t.Fatalf("searches %d, match rate %v", rep.Searches, rep.MatchRate)
+	}
+	if rep.OfferedRate != 2000 || rep.AchievedRate <= 0 {
+		t.Fatalf("rates: offered %v achieved %v", rep.OfferedRate, rep.AchievedRate)
+	}
+	var perOpTotal int64
+	for _, o := range rep.PerOp {
+		perOpTotal += o.Count
+	}
+	if perOpTotal != rep.Ops {
+		t.Fatalf("per-op counts sum %d ≠ ops %d", perOpTotal, rep.Ops)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P999 < rep.Latency.P50 {
+		t.Fatalf("quantiles not ordered: %+v", rep.Latency)
+	}
+}
+
+func TestRunRespectsContext(t *testing.T) {
+	target, trips, _ := newLoadEnv(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	// 10 ops/s × 1000 arrivals = 100 s schedule; cancellation must cut it
+	// short and report the partial run with ctx's error.
+	rep, err := Run(ctx, target, Config{
+		Schedule: Constant(10, 1000),
+		Trips:    trips,
+		Seed:     2,
+	})
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if rep == nil || rep.Ops >= 1000 || rep.Ops == 0 {
+		t.Fatalf("partial report ops = %v", rep)
+	}
+}
+
+func TestRunMaxInflightCountsQueueing(t *testing.T) {
+	// A serial target that takes ~1 ms per op, driven at 2000/s with one
+	// permitted in-flight op: the open loop cannot keep up, and the
+	// backlog must appear in the recorded latency (measured from the
+	// intended send), growing across the run.
+	slow := targetFunc(func(op Op, tr workload.Trip) Result {
+		time.Sleep(time.Millisecond)
+		return Result{Searched: true}
+	})
+	rep, err := Run(context.Background(), slow, Config{
+		Schedule:    Constant(2000, 200),
+		Trips:       oneTrip(),
+		MaxInflight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 ops × 1 ms serial ≈ 200 ms of work offered in 100 ms: the last
+	// arrivals queue for ~half the run. p99 must be far above the 1 ms
+	// service time.
+	if rep.Latency.P99 < 20 {
+		t.Fatalf("p99 %.2f ms does not reflect queueing behind MaxInflight", rep.Latency.P99)
+	}
+}
+
+// targetFunc adapts a function to Target.
+type targetFunc func(Op, workload.Trip) Result
+
+func (f targetFunc) Do(op Op, t workload.Trip) Result { return f(op, t) }
+
+func oneTrip() []workload.Trip {
+	return []workload.Trip{{ID: 0, RequestTime: 0}}
+}
+
+// stallTarget answers instantly except during one wall-clock window,
+// when every call blocks until the window closes — an injected server
+// stall (GC pause, lock convoy, failover).
+type stallTarget struct {
+	start time.Time
+	from  time.Duration
+	dur   time.Duration
+	hits  atomic.Int64
+}
+
+func (s *stallTarget) Do(op Op, t workload.Trip) Result {
+	now := time.Now()
+	stallStart := s.start.Add(s.from)
+	stallEnd := stallStart.Add(s.dur)
+	if now.After(stallStart) && now.Before(stallEnd) {
+		s.hits.Add(1)
+		time.Sleep(time.Until(stallEnd))
+	}
+	return Result{Searched: true, Matched: true}
+}
+
+// TestCoordinatedOmission is the harness's reason to exist: the same
+// schedule, the same injected 300 ms stall — the open loop charges the
+// stall to every arrival scheduled during it (p99 shows the stall),
+// while the closed-loop control arm only had a handful of workers
+// in-flight, stops generating, and reports a fantasy p99.
+func TestCoordinatedOmission(t *testing.T) {
+	const (
+		rate  = 1000.0
+		n     = 1000 // 1 s of schedule
+		from  = 300 * time.Millisecond
+		stall = 300 * time.Millisecond
+	)
+
+	runArm := func(closed bool) *Report {
+		target := &stallTarget{start: time.Now(), from: from, dur: stall}
+		rep, err := Run(context.Background(), target, Config{
+			Schedule:   Constant(rate, n),
+			Trips:      oneTrip(),
+			ClosedLoop: closed,
+			Workers:    4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if target.hits.Load() == 0 {
+			t.Fatal("stall window saw no calls; timing assumption broken")
+		}
+		return rep
+	}
+
+	open := runArm(false)
+	closed := runArm(true)
+
+	// ~30% of open-loop arrivals land in the stall window and wait up to
+	// 300 ms measured from their intended send: p99 ≈ the stall length.
+	stallMS := stall.Seconds() * 1e3
+	if open.Latency.P99 < stallMS/3 {
+		t.Errorf("open-loop p99 %.1f ms does not reflect the %v stall", open.Latency.P99, stall)
+	}
+	// The closed loop had at most Workers=4 ops in flight during the
+	// stall: 4 slow samples out of 1000 sit beyond the 99th percentile's
+	// reach, so the control arm reports a clean p99 — the lie this
+	// package exists to expose.
+	if closed.Latency.P99 > stallMS/4 {
+		t.Errorf("closed-loop p99 %.1f ms; expected coordinated omission to hide the stall (< %.1f ms)",
+			closed.Latency.P99, stallMS/4)
+	}
+	if closed.Mode != "closed" || open.Mode != "open" {
+		t.Fatalf("modes: open=%q closed=%q", open.Mode, closed.Mode)
+	}
+	// Both arms completed the same schedule; the difference is purely in
+	// what they admit about it.
+	if open.Ops != n || closed.Ops != n {
+		t.Fatalf("ops: open %d closed %d, want %d", open.Ops, closed.Ops, n)
+	}
+}
+
+func TestRunSweepFrontier(t *testing.T) {
+	target, trips, eng := newLoadEnv(t)
+	var observed int
+	f, err := RunSweep(context.Background(), target, SweepConfig{
+		Rates:      []float64{2000, 500}, // deliberately unsorted
+		OpsPerStep: 200,
+		Trips:      trips,
+		Seed:       3,
+		WarmupOps:  50,
+		Observe: func(step *Step, rep *Report) {
+			observed++
+			step.Memory = MeasureEngine(eng)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != FrontierSchema {
+		t.Fatalf("schema %q", f.Schema)
+	}
+	if len(f.Steps) != 2 || observed != 2 {
+		t.Fatalf("steps %d observed %d, want 2", len(f.Steps), observed)
+	}
+	if f.Steps[0].OfferedRate != 500 || f.Steps[1].OfferedRate != 2000 {
+		t.Fatalf("rates not sorted ascending: %v, %v", f.Steps[0].OfferedRate, f.Steps[1].OfferedRate)
+	}
+	for i, s := range f.Steps {
+		if s.Ops != 200 || s.Errors != 0 {
+			t.Fatalf("step %d: ops %d errors %d", i, s.Ops, s.Errors)
+		}
+		if s.Memory == nil || s.Memory.IndexBytes == 0 || s.Memory.ActiveRides == 0 {
+			t.Fatalf("step %d memory not captured: %+v", i, s.Memory)
+		}
+		if s.Memory.RidesPerGB <= 0 {
+			t.Fatalf("step %d rides/GB = %v", i, s.Memory.RidesPerGB)
+		}
+	}
+
+	// The gate passes with generous budgets and trips on each violation.
+	if v := f.Check(Gate{MaxP99MS: 1e6, MinMatchRate: 0, MaxErrors: 0}); len(v) != 0 {
+		t.Fatalf("gate violations on healthy frontier: %v", v)
+	}
+	if v := f.Check(Gate{MaxP99MS: 1e-9}); len(v) == 0 {
+		t.Fatal("impossible p99 budget not flagged")
+	}
+	if v := f.Check(Gate{MinMatchRate: 1.1}); len(v) == 0 {
+		t.Fatal("impossible match-rate floor not flagged")
+	}
+}

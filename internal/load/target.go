@@ -1,0 +1,353 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+
+	"xar/internal/core"
+	"xar/internal/index"
+	"xar/internal/roadnet"
+	"xar/internal/workload"
+)
+
+// Op is one operation kind of the generated mix.
+type Op int
+
+// The operation kinds, in mix-declaration order.
+const (
+	OpSearch Op = iota
+	OpBook
+	OpCreate
+	OpTrack
+	OpCancel
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSearch:
+		return "search"
+	case OpBook:
+		return "book"
+	case OpCreate:
+		return "create"
+	case OpTrack:
+		return "track"
+	case OpCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Mix is the relative weight of each operation kind in the generated
+// stream. Weights need not sum to 1; they are normalized when drawn.
+type Mix struct {
+	Search float64 `json:"search"`
+	Book   float64 `json:"book"`
+	Create float64 `json:"create"`
+	Track  float64 `json:"track"`
+	Cancel float64 `json:"cancel"`
+}
+
+// DefaultMix mirrors the paper's Go-LA deployment shape: search-heavy
+// traffic (look-to-book well above 1), a booking tail, fresh ride
+// offers trickling in, and a little tracking/cancellation noise.
+func DefaultMix() Mix {
+	return Mix{Search: 0.70, Book: 0.15, Create: 0.10, Track: 0.04, Cancel: 0.01}
+}
+
+// ParseMix parses "search=0.7,book=0.15,create=0.1,track=0.04,cancel=0.01".
+// Omitted ops get weight zero; at least one weight must be positive.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("load: mix entry %q is not op=weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("load: mix weight %q must be a non-negative number", v)
+		}
+		switch strings.TrimSpace(k) {
+		case "search":
+			m.Search = w
+		case "book":
+			m.Book = w
+		case "create":
+			m.Create = w
+		case "track":
+			m.Track = w
+		case "cancel":
+			m.Cancel = w
+		default:
+			return Mix{}, fmt.Errorf("load: unknown op %q (want search, book, create, track, cancel)", k)
+		}
+	}
+	if m.total() <= 0 {
+		return Mix{}, errors.New("load: mix has no positive weight")
+	}
+	return m, nil
+}
+
+func (m Mix) weights() [numOps]float64 {
+	return [numOps]float64{m.Search, m.Book, m.Create, m.Track, m.Cancel}
+}
+
+func (m Mix) total() float64 {
+	t := 0.0
+	for _, w := range m.weights() {
+		t += w
+	}
+	return t
+}
+
+// pick draws one op proportionally to the weights.
+func (m Mix) pick(rng *rand.Rand) Op {
+	x := rng.Float64() * m.total()
+	for op, w := range m.weights() {
+		if x -= w; x < 0 {
+			return Op(op)
+		}
+	}
+	return OpSearch
+}
+
+// Map renders the mix as op-name → weight for JSON reports.
+func (m Mix) Map() map[string]float64 {
+	out := make(map[string]float64, numOps)
+	for op, w := range m.weights() {
+		if w > 0 {
+			out[Op(op).String()] = w
+		}
+	}
+	return out
+}
+
+// Result is one operation's outcome as the runner accounts it.
+type Result struct {
+	// Searched reports whether the op ran a search (search and book ops
+	// do); Matched whether that search returned at least one candidate.
+	Searched, Matched bool
+	// Booked reports a confirmed booking.
+	Booked bool
+	// Err is a failure that is *not* part of the domain (transport
+	// errors, 5xx). Domain rejections — ride full, no longer feasible,
+	// unknown ride after completion — are expected under load and are
+	// not errors.
+	Err error
+}
+
+// Target executes one operation against the system under test. Do must
+// be safe for concurrent use; the open-loop runner calls it from many
+// goroutines at once.
+type Target interface {
+	Do(op Op, t workload.Trip) Result
+}
+
+// TargetParams are the request-shaping knobs shared by both targets;
+// they mirror sim.Config and experiments.Scale.
+type TargetParams struct {
+	WalkLimit   float64 // requester walking threshold, meters
+	WindowSlack float64 // departure-window width, seconds
+	DetourLimit float64 // created rides' detour budget, meters
+	Seats       int     // created rides' seat count
+}
+
+// DefaultTargetParams mirrors experiments.DefaultScale.
+func DefaultTargetParams() TargetParams {
+	return TargetParams{WalkLimit: 1000, WindowSlack: 900, DetourLimit: 2000, Seats: 4}
+}
+
+// bookingRef is what a cancel needs to undo a booking.
+type bookingRef struct {
+	ride            index.RideID
+	pickup, dropoff roadnet.NodeID
+}
+
+// targetState is the shared mutable bookkeeping both targets need:
+// recently created rides (track pool) and outstanding bookings (cancel
+// pool), both bounded so a long run cannot grow the harness itself.
+type targetState struct {
+	mu       sync.Mutex
+	rides    []index.RideID
+	bookings []bookingRef
+	rr       int // round-robin cursor over rides
+}
+
+const targetPoolCap = 4096
+
+func (st *targetState) addRide(id index.RideID) {
+	st.mu.Lock()
+	if len(st.rides) < targetPoolCap {
+		st.rides = append(st.rides, id)
+	} else {
+		st.rides[st.rr%len(st.rides)] = id
+	}
+	st.rr++
+	st.mu.Unlock()
+}
+
+func (st *targetState) pickRide() (index.RideID, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.rides) == 0 {
+		return 0, false
+	}
+	st.rr++
+	return st.rides[st.rr%len(st.rides)], true
+}
+
+func (st *targetState) dropRide(id index.RideID) {
+	st.mu.Lock()
+	for i, r := range st.rides {
+		if r == id {
+			st.rides[i] = st.rides[len(st.rides)-1]
+			st.rides = st.rides[:len(st.rides)-1]
+			break
+		}
+	}
+	st.mu.Unlock()
+}
+
+func (st *targetState) addBooking(b bookingRef) {
+	st.mu.Lock()
+	if len(st.bookings) < targetPoolCap {
+		st.bookings = append(st.bookings, b)
+	}
+	st.mu.Unlock()
+}
+
+func (st *targetState) popBooking() (bookingRef, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.bookings) == 0 {
+		return bookingRef{}, false
+	}
+	b := st.bookings[len(st.bookings)-1]
+	st.bookings = st.bookings[:len(st.bookings)-1]
+	return b, true
+}
+
+// EngineTarget drives a core.Engine in-process — no HTTP layer, so the
+// measured latency is the engine itself plus harness queueing. This is
+// the target the coordinated-omission test and the cheapest CI smoke
+// use.
+type EngineTarget struct {
+	Eng    *core.Engine
+	Params TargetParams
+
+	st targetState
+}
+
+// NewEngineTarget builds an in-process target with default params.
+func NewEngineTarget(eng *core.Engine) *EngineTarget {
+	return &EngineTarget{Eng: eng, Params: DefaultTargetParams()}
+}
+
+func (et *EngineTarget) request(t workload.Trip) core.Request {
+	return core.Request{
+		Source:            t.Pickup,
+		Dest:              t.Dropoff,
+		EarliestDeparture: t.RequestTime,
+		LatestDeparture:   t.RequestTime + et.Params.WindowSlack,
+		WalkLimit:         et.Params.WalkLimit,
+	}
+}
+
+// Do implements Target.
+func (et *EngineTarget) Do(op Op, t workload.Trip) Result {
+	switch op {
+	case OpCreate:
+		id, err := et.Eng.CreateRide(core.RideOffer{
+			Source:      t.Pickup,
+			Dest:        t.Dropoff,
+			Departure:   t.RequestTime,
+			Seats:       et.Params.Seats,
+			DetourLimit: et.Params.DetourLimit,
+		})
+		if err != nil {
+			return Result{Err: benign(err)}
+		}
+		et.st.addRide(id)
+		return Result{}
+
+	case OpSearch:
+		ms, err := et.Eng.SearchK(et.request(t), 0)
+		if err != nil {
+			return Result{Searched: true, Err: benign(err)}
+		}
+		return Result{Searched: true, Matched: len(ms) > 0}
+
+	case OpBook:
+		req := et.request(t)
+		ms, err := et.Eng.SearchK(req, 0)
+		if err != nil {
+			return Result{Searched: true, Err: benign(err)}
+		}
+		if len(ms) == 0 {
+			return Result{Searched: true}
+		}
+		bk, err := et.Eng.Book(ms[0], req)
+		if err != nil {
+			// Losing the ride to a concurrent booker is the workload
+			// working as intended, not a harness failure.
+			return Result{Searched: true, Matched: true, Err: benign(err)}
+		}
+		et.st.addBooking(bookingRef{ride: bk.Ride, pickup: bk.PickupNode, dropoff: bk.DropoffNode})
+		return Result{Searched: true, Matched: true, Booked: true}
+
+	case OpTrack:
+		id, ok := et.st.pickRide()
+		if !ok {
+			// Nothing to track yet: degrade to a search so the arrival
+			// still exercises the system.
+			return et.Do(OpSearch, t)
+		}
+		arrived, err := et.Eng.Track(id, t.RequestTime)
+		if err != nil || arrived {
+			et.st.dropRide(id)
+		}
+		if err != nil {
+			return Result{Err: benign(err)}
+		}
+		return Result{}
+
+	case OpCancel:
+		b, ok := et.st.popBooking()
+		if !ok {
+			return et.Do(OpSearch, t)
+		}
+		if err := et.Eng.CancelBooking(b.ride, b.pickup, b.dropoff); err != nil {
+			return Result{Err: benign(err)}
+		}
+		return Result{}
+	}
+	return Result{Err: fmt.Errorf("load: unknown op %v", op)}
+}
+
+// benign filters domain errors out of the harness error count: a full
+// ride, a request outside every ride's window, or a ride that completed
+// between ops are the system behaving, not failing.
+func benign(err error) error {
+	switch {
+	case errors.Is(err, core.ErrUnknownRide),
+		errors.Is(err, core.ErrRideFull),
+		errors.Is(err, core.ErrNoLongerFeasible),
+		errors.Is(err, core.ErrDetourExceeded),
+		errors.Is(err, core.ErrNotServable),
+		errors.Is(err, core.ErrUnreachable):
+		return nil
+	default:
+		return err
+	}
+}

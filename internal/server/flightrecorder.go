@@ -86,6 +86,17 @@ func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
+	// A typo'd parameter (windows_s, maxpoints) would otherwise silently
+	// fall back to defaults — dashboards would chart the wrong window and
+	// never know. Same contract as /v1/traces and /v1/events.
+	for key := range q {
+		switch key {
+		case "name", "window_s", "since_s", "max_points":
+		default:
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown query parameter %q (want name, window_s, since_s, max_points)", key)})
+			return
+		}
+	}
 	var hq telemetry.HistoryQuery
 	hq.Name = q.Get("name")
 	var bad string
@@ -128,6 +139,12 @@ type SLOResponse struct {
 func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
 	if s.slo == nil {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "SLOs disabled (server built without an SLO engine)"})
+		return
+	}
+	// /v1/slo takes no parameters; reject any so a future filtered form
+	// cannot be shadowed by today's ignore-everything behavior.
+	for key := range r.URL.Query() {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown query parameter %q (endpoint takes none)", key)})
 		return
 	}
 	writeJSON(w, http.StatusOK, SLOResponse{

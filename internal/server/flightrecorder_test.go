@@ -151,6 +151,44 @@ func TestMetricsHistoryValidation(t *testing.T) {
 	}
 }
 
+// TestFlightRecorderUnknownParams pins the same contract /v1/traces and
+// /v1/events enforce: a typo'd query parameter is a 400, not a silent
+// fall-back to defaults (a dashboard charting "windows_s=300" would
+// otherwise quietly show the whole retention window).
+func TestFlightRecorderUnknownParams(t *testing.T) {
+	env := newRecorderEnv(t)
+	env.tick(10, time.Millisecond)
+
+	for _, q := range []string{
+		"?windows_s=300", "?maxpoints=10", "?name=x&bogus=1", "?limit=5",
+	} {
+		if code := env.do(t, "GET", "/v1/metrics/history"+q, nil, nil); code != http.StatusBadRequest {
+			t.Errorf("GET /v1/metrics/history%s = %d, want 400", q, code)
+		}
+	}
+	// Known parameters in combination still work.
+	var dump telemetry.HistoryDump
+	if code := env.do(t, "GET", "/v1/metrics/history?name=xar_op_duration_seconds&window_s=60&since_s=600&max_points=5", nil, &dump); code != http.StatusOK {
+		t.Fatalf("valid history query = %d, want 200", code)
+	}
+
+	for _, q := range []string{"?window_s=300", "?verbose=1", "?status=page"} {
+		if code := env.do(t, "GET", "/v1/slo"+q, nil, nil); code != http.StatusBadRequest {
+			t.Errorf("GET /v1/slo%s = %d, want 400", q, code)
+		}
+	}
+	var slo SLOResponse
+	if code := env.do(t, "GET", "/v1/slo", nil, &slo); code != http.StatusOK {
+		t.Fatalf("bare /v1/slo = %d, want 200", code)
+	}
+	// The disabled-endpoint 404 must win over parameter validation, as on
+	// the recorder-less history endpoint.
+	bare := newTestEnv(t)
+	if code := bare.do(t, "GET", "/v1/slo?bogus=1", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("slo-less /v1/slo?bogus=1 = %d, want 404", code)
+	}
+}
+
 // TestSLOTransitionsToPage injects a latency spike and watches /v1/slo
 // and /v1/healthz move ok → page — acceptance criterion 3, second half.
 func TestSLOTransitionsToPage(t *testing.T) {
