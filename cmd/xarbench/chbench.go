@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"xar/internal/roadnet"
+)
+
+// chBenchSize is one row of the router head-to-head: the three engines
+// answer the same random pairs on the same generated city, so the
+// query-time columns are directly comparable and the mismatch column is
+// an exact-distance cross-check of CH against the A* reference.
+type chBenchSize struct {
+	Rows       int     `json:"rows"`
+	Cols       int     `json:"cols"`
+	Nodes      int     `json:"nodes"`
+	Edges      int     `json:"edges"`
+	PlainUS    float64 `json:"plain_astar_query_us"`
+	ALTUS      float64 `json:"alt_query_us"`
+	CHUS       float64 `json:"ch_query_us"`
+	ALTPreMS   float64 `json:"alt_preprocess_ms"`
+	CHPreMS    float64 `json:"ch_preprocess_ms"`
+	Shortcuts  int     `json:"ch_shortcuts"`
+	CoreSize   int     `json:"ch_core_size"`
+	SpeedupALT float64 `json:"ch_speedup_vs_alt"`
+	SpeedupAst float64 `json:"ch_speedup_vs_plain"`
+	Mismatches int     `json:"distance_mismatches"`
+}
+
+type chBenchReport struct {
+	Pairs int           `json:"pairs_per_size"`
+	Reps  int           `json:"reps"`
+	Seed  int64         `json:"seed"`
+	Sizes []chBenchSize `json:"sizes"`
+}
+
+// runCHBench generates a city per size, builds all three routers, times
+// them on a shared random pair set, and cross-checks every CH distance
+// against the exact reference. Exits non-zero on any mismatch, or when
+// the CH/ALT speedup at the largest size falls below minSpeedup (the CI
+// gate). Writes the JSON report to out ("" = stdout only).
+func runCHBench(sizesSpec string, seed int64, pairsN, reps int, minSpeedup float64, out string) {
+	var report = chBenchReport{Pairs: pairsN, Reps: reps, Seed: seed}
+	for _, spec := range strings.Split(sizesSpec, ",") {
+		var rows, cols int
+		if _, err := fmt.Sscanf(strings.TrimSpace(spec), "%dx%d", &rows, &cols); err != nil {
+			log.Fatalf("bad -ch-sizes entry %q (want ROWSxCOLS)", spec)
+		}
+		city, err := roadnet.GenerateCity(roadnet.DefaultCityConfig(rows, cols, seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := city.Graph
+
+		t0 := time.Now()
+		alt, err := roadnet.NewALT(g, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		altPre := time.Since(t0)
+		ch, err := roadnet.BuildCH(g, roadnet.CHConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		r := rand.New(rand.NewSource(seed))
+		pairs := make([][2]roadnet.NodeID, pairsN)
+		for i := range pairs {
+			pairs[i] = [2]roadnet.NodeID{
+				roadnet.NodeID(r.Intn(g.NumNodes())),
+				roadnet.NodeID(r.Intn(g.NumNodes())),
+			}
+		}
+		plain := roadnet.NewSearcher(g)
+		as := alt.NewSearcher()
+		cs := ch.NewSearcher()
+
+		mismatches := 0
+		for _, p := range pairs {
+			want := plain.ShortestPath(p[0], p[1])
+			got := cs.ShortestPath(p[0], p[1])
+			if want.Reachable() != got.Reachable() ||
+				(want.Reachable() && math.Abs(want.Dist-got.Dist) > 1e-6) {
+				mismatches++
+			}
+		}
+
+		timeIt := func(f func(a, b roadnet.NodeID)) float64 {
+			for _, p := range pairs { // warm caches and pools
+				f(p[0], p[1])
+			}
+			start := time.Now()
+			for rep := 0; rep < reps; rep++ {
+				for _, p := range pairs {
+					f(p[0], p[1])
+				}
+			}
+			return float64(time.Since(start).Microseconds()) / float64(reps*len(pairs))
+		}
+		sz := chBenchSize{
+			Rows: rows, Cols: cols,
+			Nodes:     g.NumNodes(),
+			Edges:     g.NumEdges(),
+			PlainUS:   timeIt(func(a, b roadnet.NodeID) { plain.ShortestPath(a, b) }),
+			ALTUS:     timeIt(func(a, b roadnet.NodeID) { as.ShortestPath(a, b) }),
+			CHUS:      timeIt(func(a, b roadnet.NodeID) { cs.ShortestPath(a, b) }),
+			ALTPreMS:  float64(altPre.Microseconds()) / 1e3,
+			CHPreMS:   float64(ch.BuildTime().Microseconds()) / 1e3,
+			Shortcuts: ch.NumShortcuts(),
+			CoreSize:  ch.CoreSize(),
+
+			Mismatches: mismatches,
+		}
+		sz.SpeedupALT = sz.ALTUS / sz.CHUS
+		sz.SpeedupAst = sz.PlainUS / sz.CHUS
+		report.Sizes = append(report.Sizes, sz)
+		log.Printf("%dx%d n=%d: plain %.1f µs, ALT %.1f µs, CH %.2f µs (%.1fx vs ALT, %.1fx vs plain), %d shortcuts, core %d, CH pre %.0f ms, %d mismatches",
+			rows, cols, sz.Nodes, sz.PlainUS, sz.ALTUS, sz.CHUS, sz.SpeedupALT, sz.SpeedupAst,
+			sz.Shortcuts, sz.CoreSize, sz.CHPreMS, mismatches)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		log.Fatal(err)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote CH head-to-head to %s", out)
+	}
+
+	for _, sz := range report.Sizes {
+		if sz.Mismatches != 0 {
+			log.Fatalf("GATE FAIL: %d CH distance mismatches at %dx%d — CH must match the exact reference", sz.Mismatches, sz.Rows, sz.Cols)
+		}
+	}
+	if minSpeedup > 0 {
+		last := report.Sizes[len(report.Sizes)-1]
+		if last.SpeedupALT < minSpeedup {
+			log.Fatalf("GATE FAIL: CH/ALT speedup %.1fx at largest size %dx%d, need ≥ %.1fx",
+				last.SpeedupALT, last.Rows, last.Cols, minSpeedup)
+		}
+		log.Printf("gate ok: CH/ALT speedup %.1fx ≥ %.1fx at largest size, zero mismatches", last.SpeedupALT, minSpeedup)
+	}
+}

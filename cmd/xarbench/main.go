@@ -60,7 +60,18 @@ func main() {
 	traceTop := flag.Int("trace-top", 20, "how many slowest traces -trace-out keeps")
 	historyOut := flag.String("history-out", "", "record the run's telemetry on a 1s wall-clock cadence and write the time-series as JSON to this file")
 	auditFlag := flag.Bool("audit", false, "run a journaled replay through the invariant auditor after the workload (in -parallel mode, audit the parallel engine itself) and exit non-zero on any violation")
+	chBench := flag.Bool("ch-bench", false, "run the routing head-to-head (plain A* vs ALT vs CH) instead of figure replays")
+	chSizes := flag.String("ch-sizes", "20x12,40x22,80x44", "comma-separated ROWSxCOLS city sizes for -ch-bench, smallest to largest")
+	chPairs := flag.Int("ch-pairs", 256, "random query pairs per size for -ch-bench")
+	chReps := flag.Int("ch-reps", 8, "timing repetitions over the pair set for -ch-bench")
+	chOut := flag.String("ch-out", "", "write the -ch-bench JSON report to this file")
+	chMinSpeedup := flag.Float64("ch-min-speedup", 0, "exit non-zero unless CH/ALT speedup at the largest -ch-bench size reaches this (0 disables the gate)")
 	flag.Parse()
+
+	if *chBench {
+		runCHBench(*chSizes, *seed, *chPairs, *chReps, *chMinSpeedup, *chOut)
+		return
+	}
 
 	scale := experiments.DefaultScale()
 	scale.CityRows = *rows

@@ -55,7 +55,7 @@ func (e *Engine) BookCtx(ctx context.Context, m Match, req Request) (Booking, er
 	if e.cfg.PprofLabels {
 		var bk Booking
 		var err error
-		pprof.Do(ctx, pprof.Labels("op", opBook), func(ctx context.Context) {
+		pprof.Do(ctx, pprof.Labels("op", opBook, "algo", e.router), func(ctx context.Context) {
 			bk, err = e.bookCtx(ctx, m, req)
 		})
 		return bk, err
@@ -207,7 +207,7 @@ func (e *Engine) tryBook(ctx context.Context, m Match, puLM, doLM int, puNode, d
 	if e.cfg.PprofLabels {
 		// The splice is where booking CPU actually goes (≤4 shortest
 		// paths); a stage label separates it from validation overhead.
-		pprof.Do(ctx, pprof.Labels("op", opBook, "stage", "splice"), func(ctx context.Context) {
+		pprof.Do(ctx, pprof.Labels("op", opBook, "stage", "splice", "algo", e.router), func(ctx context.Context) {
 			newRoute, newVia, spRuns, serr = e.spliceRoute(ctx, f, shadow, sSeg, dSeg, puNode, doNode)
 		})
 	} else {

@@ -69,10 +69,27 @@ type Config struct {
 	// UseALTPaths accelerates the engine's shortest-path computations
 	// (ride creation, booking splices, cancellations) with the ALT
 	// heuristic at the cost of extra preprocessing (2·ALTSeeds full
-	// Dijkstras). Results are identical; only speed changes.
+	// Dijkstras). Results are identical; only speed changes. Subsumed by
+	// Router; kept for compatibility ("" + UseALTPaths ≡ Router "alt").
 	UseALTPaths bool
 	// ALTSeeds is the ALT landmark count (0 → 8).
 	ALTSeeds int
+	// Router selects the shortest-path engine: "astar", "alt", or "ch".
+	// Empty picks automatically — "ch" when CH is set, else "alt" when
+	// UseALTPaths, else "astar". All three return identical distances;
+	// only speed (and preprocessing cost) differs. Router "ch" without a
+	// prebuilt CH builds one at engine construction under CHBudget and
+	// falls back to ALT if the budget is exceeded; the effective choice
+	// is reported by Router() / ConfigSummary and stamped on telemetry.
+	Router string
+	// CH is a prebuilt contraction hierarchy over the discretization's
+	// road graph (roadnet.BuildCH, or LoadCH of an xardiscretize -ch
+	// artifact). Implies Router "ch" when Router is empty.
+	CH *roadnet.CH
+	// CHBudget bounds in-process CH preprocessing when Router is "ch"
+	// and no prebuilt CH is given; exceeding it falls back to ALT
+	// instead of failing engine construction. 0 → unbudgeted.
+	CHBudget time.Duration
 	// UseCongestionProfile scales ETA computation by the time-of-day
 	// congestion factor (roadnet.SpeedFactor): rides departing in the AM
 	// or PM peak take up to ~1.8× longer than free flow, which the
@@ -256,10 +273,26 @@ type Engine struct {
 	// shard it visits.
 	scratchPool sync.Pool
 
+	// router is the effective routing algorithm ("astar", "alt", "ch")
+	// after auto-selection and CH-budget fallback — the value stamped on
+	// spans, pprof labels, and xar_route_queries_total.
+	router string
+	// routeQueries counts shortest-path queries under the effective
+	// algo label. Nil without telemetry.
+	routeQueries *telemetry.Counter
+
 	m   metrics
 	tel *engineTelemetry // nil → uninstrumented
 	jr  *journal.Journal // nil → no event journaling
 }
+
+// Router values for Config.Router, and the strings Engine.Router()
+// reports.
+const (
+	RouterAStar = "astar"
+	RouterALT   = "alt"
+	RouterCH    = "ch"
+)
 
 // pathFinder is the slice of the routing layer the engine needs; both
 // the plain A* Searcher and the ALT-accelerated variant satisfy it.
@@ -289,18 +322,56 @@ func NewEngine(disc *discretize.Discretization, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	g := disc.City().Graph
-	newFinder := func() pathFinder { return roadnet.NewSearcher(g) }
-	if cfg.UseALTPaths {
+	router := cfg.Router
+	if router == "" {
+		switch {
+		case cfg.CH != nil:
+			router = RouterCH
+		case cfg.UseALTPaths:
+			router = RouterALT
+		default:
+			router = RouterAStar
+		}
+	}
+	if router == RouterCH {
+		ch := cfg.CH
+		if ch == nil {
+			built, err := roadnet.BuildCH(g, roadnet.CHConfig{Budget: cfg.CHBudget})
+			switch {
+			case errors.Is(err, roadnet.ErrCHBudgetExceeded):
+				// The documented degradation path: serve with ALT now
+				// rather than not at all; Router() exposes the fallback.
+				slog.Warn("CH preprocessing budget exceeded; falling back to ALT", "err", err)
+				router = RouterALT
+			case err != nil:
+				return nil, err
+			default:
+				ch = built
+			}
+		}
+		cfg.CH = ch
+	}
+	var newFinder func() pathFinder
+	switch router {
+	case RouterAStar:
+		newFinder = func() pathFinder { return roadnet.NewSearcher(g) }
+	case RouterALT:
 		alt, err := roadnet.NewALT(g, cfg.ALTSeeds)
 		if err != nil {
 			return nil, err
 		}
 		newFinder = func() pathFinder { return alt.NewSearcher() }
+	case RouterCH:
+		ch := cfg.CH
+		newFinder = func() pathFinder { return ch.NewSearcher() }
+	default:
+		return nil, fmt.Errorf("xar: unknown Router %q (want astar, alt, or ch)", cfg.Router)
 	}
 	e := &Engine{
 		cfg:       cfg,
 		disc:      disc,
 		ix:        ix,
+		router:    router,
 		newFinder: newFinder,
 		jr:        cfg.Journal,
 	}
@@ -308,6 +379,11 @@ func NewEngine(disc *discretize.Discretization, cfg Config) (*Engine, error) {
 	e.scratchPool.New = func() any { return newSearchScratch() }
 	if cfg.Telemetry != nil || cfg.SlowOpThreshold > 0 || cfg.Tracer != nil {
 		e.tel = newEngineTelemetry(cfg.Telemetry, cfg.Tracer, cfg.SearchSampleRate, cfg.SlowOpThreshold, cfg.SlowOpLogger)
+	}
+	if cfg.Telemetry != nil {
+		e.routeQueries = cfg.Telemetry.Counter("xar_route_queries_total",
+			"Shortest-path queries served, by routing algorithm.",
+			telemetry.L("algo", router))
 	}
 	if cfg.Telemetry != nil {
 		registerShardGauges(cfg.Telemetry, ix.View())
@@ -323,10 +399,14 @@ func NewEngine(disc *discretize.Discretization, cfg Config) (*Engine, error) {
 func (e *Engine) tracedShortestPath(ctx context.Context, f pathFinder, a, b roadnet.NodeID) roadnet.SPResult {
 	_, span := telemetry.ChildSpan(ctx, "path_search")
 	res := f.ShortestPath(a, b)
+	if e.routeQueries != nil {
+		e.routeQueries.Inc()
+	}
 	if span != nil {
 		span.SetInt("from", int64(a))
 		span.SetInt("to", int64(b))
 		span.SetFloat("dist", res.Dist)
+		span.SetStr("algo", e.router)
 		if !res.Reachable() {
 			span.SetErrorMsg("unreachable")
 		}
@@ -334,6 +414,10 @@ func (e *Engine) tracedShortestPath(ctx context.Context, f pathFinder, a, b road
 	}
 	return res
 }
+
+// Router returns the effective routing algorithm ("astar", "alt", or
+// "ch") after auto-selection and any CH-budget fallback.
+func (e *Engine) Router() string { return e.router }
 
 // finder checks a pathFinder out of the pool; release returns it. The
 // checkout pattern (rather than a per-engine instance) is what lets any
@@ -373,7 +457,7 @@ func (e *Engine) CreateRideCtx(ctx context.Context, offer RideOffer) (index.Ride
 	if e.cfg.PprofLabels {
 		var id index.RideID
 		var err error
-		pprof.Do(ctx, pprof.Labels("op", opCreate), func(ctx context.Context) {
+		pprof.Do(ctx, pprof.Labels("op", opCreate, "algo", e.router), func(ctx context.Context) {
 			id, err = e.createRideCtx(ctx, offer)
 		})
 		return id, err
@@ -478,6 +562,7 @@ func (e *Engine) ConfigSummary() map[string]any {
 		"default_seats":          e.cfg.DefaultSeats,
 		"dest_window_slack_s":    e.cfg.DestWindowSlack,
 		"strict_detour":          e.cfg.StrictDetour,
+		"router":                 e.router,
 		"use_alt_paths":          e.cfg.UseALTPaths,
 		"use_congestion_profile": e.cfg.UseCongestionProfile,
 		"search_sample_rate":     sampleRate,

@@ -8,7 +8,7 @@ import (
 	"xar/internal/geo"
 )
 
-func genTestCity(t *testing.T, rows, cols int, seed int64) *City {
+func genTestCity(t testing.TB, rows, cols int, seed int64) *City {
 	t.Helper()
 	city, err := GenerateCity(DefaultCityConfig(rows, cols, seed))
 	if err != nil {

@@ -1,0 +1,39 @@
+package roadnet
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzReadCH feeds arbitrary bytes to the CH artifact reader: it must
+// never panic, and anything it accepts must answer queries that match
+// the exact reference — a corrupt hierarchy that loads "successfully"
+// but mis-routes is the failure mode the validation exists to prevent.
+func FuzzReadCH(f *testing.F) {
+	g, _, valid := chArtifact(f)
+	plain := NewSearcher(g)
+	f.Add(valid)
+	f.Add(valid[:27])
+	f.Add(valid[:len(valid)/2])
+	trunc := append([]byte(nil), valid...)
+	trunc[9] ^= 0xff
+	f.Add(trunc)
+	f.Add([]byte("XARCHv01 not really"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ch, err := LoadCH(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		cs := ch.NewSearcher()
+		for _, pair := range [][2]NodeID{{0, NodeID(g.NumNodes() - 1)}, {3, 60}, {100, 17}} {
+			want := plain.ShortestPath(pair[0], pair[1])
+			got := cs.ShortestPath(pair[0], pair[1])
+			if want.Reachable() != got.Reachable() ||
+				(want.Reachable() && math.Abs(want.Dist-got.Dist) > 1e-6) {
+				t.Fatalf("accepted artifact mis-routes %d→%d: %v vs %v", pair[0], pair[1], got.Dist, want.Dist)
+			}
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package roadnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// chArtifact builds a small city with real shortcuts and returns the
+// graph plus its serialized hierarchy.
+func chArtifact(t testing.TB) (*Graph, *CH, []byte) {
+	t.Helper()
+	city := genTestCity(t, 16, 10, 4)
+	g := city.Graph
+	ch, err := BuildCH(g, CHConfig{CoreSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.NumShortcuts() == 0 {
+		t.Fatal("test artifact has no shortcuts; corruption cases under-test")
+	}
+	var buf bytes.Buffer
+	if err := ch.SaveCH(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return g, ch, buf.Bytes()
+}
+
+func TestCHPersistRoundTrip(t *testing.T) {
+	g, ch, raw := chArtifact(t)
+	back, err := LoadCH(bytes.NewReader(raw), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumArcs() != ch.NumArcs() || back.NumShortcuts() != ch.NumShortcuts() || back.CoreSize() != ch.CoreSize() {
+		t.Fatalf("round trip changed shape: arcs %d→%d shortcuts %d→%d core %d→%d",
+			ch.NumArcs(), back.NumArcs(), ch.NumShortcuts(), back.NumShortcuts(), ch.CoreSize(), back.CoreSize())
+	}
+	plain := NewSearcher(g)
+	cs := back.NewSearcher()
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 400; trial++ {
+		a := NodeID(r.Intn(g.NumNodes()))
+		b := NodeID(r.Intn(g.NumNodes()))
+		checkAgainstReference(t, g, plain, cs, a, b)
+	}
+}
+
+// arcRecords locates the arc region of a serialized CH and returns its
+// byte offset plus the record count.
+func arcRecords(raw []byte) (off, m int) {
+	n := int(binary.LittleEndian.Uint32(raw[16:20]))
+	return 28 + 4*n, int(binary.LittleEndian.Uint32(raw[20:24]))
+}
+
+// findShortcutArc returns the offset of the first persisted arc whose
+// middle field is set.
+func findShortcutArc(t *testing.T, raw []byte) int {
+	arcsOff, m := arcRecords(raw)
+	for i := 0; i < m; i++ {
+		off := arcsOff + 20*i
+		if binary.LittleEndian.Uint32(raw[off+8:off+12]) != noMiddleWire {
+			return off
+		}
+	}
+	t.Fatal("no shortcut arc in artifact")
+	return 0
+}
+
+// TestLoadCHRejectsCorrupt drives LoadCH through every class of
+// structural damage and requires each to be rejected with a useful
+// error rather than loaded into a hierarchy that would corrupt queries.
+func TestLoadCHRejectsCorrupt(t *testing.T) {
+	g, _, raw := chArtifact(t)
+	arcsOff, m := arcRecords(raw)
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "CH header"},
+		{"truncated header", func(b []byte) []byte { return b[:27] }, "CH header"},
+		{"bad magic", func(b []byte) []byte { b[0] = 'Z'; return b }, "bad magic"},
+		{"wrong fingerprint", func(b []byte) []byte { b[9] ^= 0xff; return b }, "different road graph"},
+		{"node count mismatch", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:20], 7)
+			return b
+		}, "nodes"},
+		{"zero core", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[24:28], 0)
+			return b
+		}, "core size"},
+		{"core larger than graph", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[24:28], uint32(g.NumNodes()+1))
+			return b
+		}, "core size"},
+		{"truncated rank table", func(b []byte) []byte { return b[:30] }, "rank table"},
+		{"rank out of range", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[28:32], uint32(g.NumNodes()))
+			return b
+		}, "not a permutation"},
+		{"rank duplicated", func(b []byte) []byte {
+			copy(b[28:32], b[32:36])
+			return b
+		}, "not a permutation"},
+		{"truncated arcs", func(b []byte) []byte { return b[:len(b)-5] }, "CH arc"},
+		{"arc head out of range", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[arcsOff+4:arcsOff+8], uint32(g.NumNodes()))
+			return b
+		}, "out of range"},
+		{"arc self loop", func(b []byte) []byte {
+			copy(b[arcsOff+4:arcsOff+8], b[arcsOff:arcsOff+4])
+			return b
+		}, "out of range"},
+		{"negative weight", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[arcsOff+12:arcsOff+20], math.Float64bits(-1))
+			return b
+		}, "weight"},
+		{"NaN weight", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[arcsOff+12:arcsOff+20], math.Float64bits(math.NaN()))
+			return b
+		}, "weight"},
+		{"weight not the edge length", func(b []byte) []byte {
+			w := math.Float64frombits(binary.LittleEndian.Uint64(b[arcsOff+12 : arcsOff+20]))
+			binary.LittleEndian.PutUint64(b[arcsOff+12:arcsOff+20], math.Float64bits(w+1))
+			return b
+		}, "corrupt"},
+		{"middle out of range", func(b []byte) []byte {
+			off := findShortcutArc(t, b)
+			binary.LittleEndian.PutUint32(b[off+8:off+12], uint32(g.NumNodes()))
+			return b
+		}, "middle"},
+		{"middle not below endpoints", func(b []byte) []byte {
+			off := findShortcutArc(t, b)
+			copy(b[off+8:off+12], b[off:off+4])
+			return b
+		}, "middle"},
+		{"duplicate arc", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[20:24], uint32(m+1))
+			return append(b, b[arcsOff:arcsOff+20]...)
+		}, "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := tc.mutate(append([]byte(nil), raw...))
+			_, err := LoadCH(bytes.NewReader(mut), g)
+			if err == nil {
+				t.Fatal("corrupt artifact accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+	// The pristine bytes must still load — otherwise the cases above
+	// pass vacuously.
+	if _, err := LoadCH(bytes.NewReader(raw), g); err != nil {
+		t.Fatalf("pristine artifact rejected: %v", err)
+	}
+}
