@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-telemetry bench-tracing bench-recorder bench-audit bench-parallel-smoke audit-smoke bench-scale bench-scale-smoke bench-ch bench-ch-smoke
+.PHONY: all build vet test race bench-smoke bench-telemetry bench-tracing bench-recorder bench-audit bench-quality bench-quality-smoke bench-parallel-smoke audit-smoke bench-scale bench-scale-smoke bench-ch bench-ch-smoke
 
 all: build vet test
 
@@ -19,7 +19,7 @@ race:
 # bench-smoke: one fast pass over the headline benchmarks — enough to
 # catch perf regressions in CI without regenerating every figure.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig4aSearchXAR$$|BenchmarkFig4bCreateXAR$$|BenchmarkSearchTelemetry|BenchmarkSearchTracing|BenchmarkSearchRecorder|BenchmarkSearchJournal' -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'BenchmarkFig4aSearchXAR$$|BenchmarkFig4bCreateXAR$$|BenchmarkSearchTelemetry|BenchmarkSearchTracing|BenchmarkSearchRecorder|BenchmarkSearchJournal|BenchmarkSearchQuality' -benchtime 100x .
 
 # bench-telemetry: the observability overhead comparison (off vs on)
 # backing the ≤5% search hot-path budget; see README "Observability".
@@ -44,6 +44,22 @@ bench-recorder:
 # BENCH_audit.json; see OBSERVABILITY.md "Event journal & auditing".
 bench-audit:
 	$(GO) test -run '^$$' -bench 'BenchmarkSearchJournal|BenchmarkMixedWorkloadJournal' -benchtime 1.5s -count 3 .
+
+# bench-quality: the match-quality accounting overhead comparison (no
+# collector vs funnel + gap histograms vs funnel + shadow matcher at the
+# production 1-in-8 sample) backing BENCH_quality.json's ≤5% budget; see
+# OBSERVABILITY.md "Match quality".
+bench-quality:
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchQuality' -benchtime 3s -count 4 .
+
+# bench-quality-smoke: the CI fence for the same comparison — interleaved
+# off/on arms with a deliberately loose 25% bound that absorbs shared-
+# runner drift but catches structural regressions (a lock or per-candidate
+# allocation added to the search hot path). The strict ≤5% budget is
+# judged on quiet hardware and recorded in BENCH_quality.json, whose
+# committed numbers `go test` re-checks (TestQualityBenchRecordMeetsBudget).
+bench-quality-smoke:
+	XAR_QUALITY_SMOKE=1 $(GO) test -run 'TestSearchQualityOverheadSmoke' -v .
 
 # audit-smoke: a small clean replay through `xarsim -audit` must journal
 # every lifecycle event, sweep the invariant auditor on the simulated

@@ -1,0 +1,94 @@
+// Schema checks over the committed BENCH_*.json artifacts. The bench
+// records are hand-curated measurement documents (see OBSERVABILITY.md
+// "Overhead budgets"); this test keeps them machine-readable — a
+// malformed edit fails CI instead of silently breaking whatever tooling
+// parses them next — and re-verifies that the numbers recorded for the
+// quality funnel actually meet the budget the docs claim.
+package xar
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestBenchArtifactSchemas(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no BENCH_*.json artifacts found — run from the repo root")
+	}
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		var doc map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Errorf("%s: not a JSON object: %v", p, err)
+			continue
+		}
+		if len(doc) == 0 {
+			t.Errorf("%s: empty document", p)
+			continue
+		}
+		// The hand-written overhead records (vs the tool-emitted frontier
+		// and CH reports) all carry provenance: a description, the
+		// measurement date, and the hardware it was measured on.
+		if _, ok := doc["description"]; !ok {
+			continue
+		}
+		var date string
+		if err := json.Unmarshal(doc["date"], &date); err != nil {
+			t.Errorf("%s: date is not a string: %v", p, err)
+		} else if _, err := time.Parse("2006-01-02", date); err != nil {
+			t.Errorf("%s: date %q is not YYYY-MM-DD", p, date)
+		}
+		var hw map[string]any
+		if err := json.Unmarshal(doc["hardware"], &hw); err != nil || len(hw) == 0 {
+			t.Errorf("%s: hardware block missing or empty", p)
+		}
+	}
+}
+
+// TestQualityBenchRecordMeetsBudget parses the committed
+// BENCH_quality.json and re-checks the acceptance criterion it records:
+// the BenchmarkSearchQuality off-vs-on same-batch delta is within the
+// ≤5% observability budget. The live-measurement counterpart is the
+// bench-quality-smoke CI fence (TestSearchQualityOverheadSmoke).
+func TestQualityBenchRecordMeetsBudget(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_quality.json")
+	if err != nil {
+		t.Fatalf("BENCH_quality.json must be committed alongside the quality layer: %v", err)
+	}
+	var doc struct {
+		Bench struct {
+			Off struct {
+				Ns float64 `json:"ns_per_op"`
+			} `json:"off"`
+			On struct {
+				Ns float64 `json:"ns_per_op"`
+			} `json:"on"`
+			OnShadow struct {
+				Ns float64 `json:"ns_per_op"`
+			} `json:"onShadow"`
+		} `json:"BenchmarkSearchQuality"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_quality.json: %v", err)
+	}
+	off, on := doc.Bench.Off.Ns, doc.Bench.On.Ns
+	if off <= 0 || on <= 0 || doc.Bench.OnShadow.Ns <= 0 {
+		t.Fatalf("BENCH_quality.json: BenchmarkSearchQuality off/on/onShadow ns_per_op must all be recorded and positive (got %v/%v/%v)",
+			off, on, doc.Bench.OnShadow.Ns)
+	}
+	if on > off*1.05 {
+		t.Errorf("recorded quality overhead is %.1f%% (off %.0f ns/op, on %.0f ns/op) — the committed record violates the ≤5%% budget it documents",
+			100*(on-off)/off, off, on)
+	}
+}

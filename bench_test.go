@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -21,6 +23,7 @@ import (
 	"xar/internal/core"
 	"xar/internal/experiments"
 	"xar/internal/journal"
+	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/sim"
 	"xar/internal/telemetry"
@@ -661,6 +664,91 @@ func BenchmarkSearchJournal(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, nil, false) })
 	b.Run("on", func(b *testing.B) { run(b, journal.New(journal.Config{}), false) })
 	b.Run("onAudit", func(b *testing.B) { run(b, journal.New(journal.Config{}), true) })
+}
+
+// runSearchQuality drives the loaded search path with the given
+// match-quality configuration — the shared body of
+// BenchmarkSearchQuality and the bench-quality-smoke CI fence.
+func runSearchQuality(b *testing.B, qc *quality.Collector, shadowRate int) {
+	w := world(b)
+	ecfg := core.DefaultConfig()
+	ecfg.DefaultDetourLimit = w.Scale.DetourLimit
+	ecfg.Telemetry = telemetry.NewRegistry()
+	ecfg.Quality = qc
+	ecfg.ShadowSampleRate = shadowRate
+	eng, err := core.NewEngine(w.Disc, ecfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	sys := &sim.XARSystem{Engine: eng}
+	offers, requests := w.SplitOffersRequests()
+	for _, o := range offers {
+		_, _ = sys.Create(sim.Offer{
+			Source: o.Pickup, Dest: o.Dropoff,
+			Departure: o.RequestTime, Seats: 4, DetourLimit: w.Scale.DetourLimit,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = sys.Search(benchRequest(w, requests, i), 0)
+	}
+}
+
+// BenchmarkSearchQuality quantifies the match-quality accounting
+// overhead on the loaded search hot path: the instrumented engine with
+// no collector ("off" — one nil check per search), the funnel +
+// approximation-gap collector ("on" — per-stage counts accumulate in a
+// stack array alongside checks the search already runs and fold into
+// atomics once per search), and the collector plus the shadow
+// counterfactual matcher at the production 1-in-8 sample ("onShadow" —
+// no-match offers are enqueue-or-drop behind a bounded channel, so the
+// request path never blocks on the shadow worker). The acceptance
+// budget for off vs on is ≤5% (BENCH_quality.json).
+func BenchmarkSearchQuality(b *testing.B) {
+	b.Run("off", func(b *testing.B) { runSearchQuality(b, nil, 0) })
+	b.Run("on", func(b *testing.B) { runSearchQuality(b, quality.New(nil), 0) })
+	b.Run("onShadow", func(b *testing.B) { runSearchQuality(b, quality.New(nil), 8) })
+}
+
+// TestSearchQualityOverheadSmoke is the fence behind `make
+// bench-quality-smoke`: it interleaves the off and on arms of
+// BenchmarkSearchQuality and fails when the funnel accounting slows
+// the loaded search path past a generous 25%. The real ≤5% budget is
+// judged on same-batch medians from quiet hardware and recorded in
+// BENCH_quality.json (whose committed numbers the schema test
+// re-checks); the smoke fence is loose because shared CI runners drift
+// ±15% between batches (see the hardware notes in BENCH_audit.json).
+// It exists to catch a structural regression — an O(candidates)
+// allocation or a lock added to the hot path reads as 2x, not 1.05x.
+// Gated behind XAR_QUALITY_SMOKE=1 so `go test ./...` stays fast.
+func TestSearchQualityOverheadSmoke(t *testing.T) {
+	if os.Getenv("XAR_QUALITY_SMOKE") == "" {
+		t.Skip("set XAR_QUALITY_SMOKE=1 to run the quality overhead fence")
+	}
+	const rounds = 3
+	best := func(samples []float64) float64 {
+		m := math.MaxFloat64
+		for _, s := range samples {
+			if s < m {
+				m = s
+			}
+		}
+		return m
+	}
+	var offs, ons []float64
+	for i := 0; i < rounds; i++ {
+		off := testing.Benchmark(func(b *testing.B) { runSearchQuality(b, nil, 0) })
+		on := testing.Benchmark(func(b *testing.B) { runSearchQuality(b, quality.New(nil), 0) })
+		offs = append(offs, float64(off.NsPerOp()))
+		ons = append(ons, float64(on.NsPerOp()))
+	}
+	offNs, onNs := best(offs), best(ons)
+	t.Logf("search ns/op: quality off %.0f, on %.0f (%+.1f%%)", offNs, onNs, 100*(onNs-offNs)/offNs)
+	if onNs > offNs*1.25 {
+		t.Errorf("quality accounting slows search by %.1f%% (off %.0f ns/op, on %.0f ns/op) — past the 25%% smoke fence",
+			100*(onNs-offNs)/offNs, offNs, onNs)
+	}
 }
 
 // BenchmarkMixedWorkloadJournal is the journal's contention benchmark:

@@ -39,6 +39,7 @@ import (
 	"xar/internal/core"
 	"xar/internal/experiments"
 	"xar/internal/journal"
+	"xar/internal/quality"
 	"xar/internal/sim"
 	"xar/internal/telemetry"
 )
@@ -60,6 +61,8 @@ func main() {
 	traceTop := flag.Int("trace-top", 20, "how many slowest traces -trace-out keeps")
 	historyOut := flag.String("history-out", "", "record the run's telemetry on a 1s wall-clock cadence and write the time-series as JSON to this file")
 	auditFlag := flag.Bool("audit", false, "run a journaled replay through the invariant auditor after the workload (in -parallel mode, audit the parallel engine itself) and exit non-zero on any violation")
+	qualityFlag := flag.Bool("quality", false, "collect the match-quality funnel across the replayed engines (and shadow counterfactuals at -shadow-sample) and print the summary after the run")
+	shadowSample := flag.Int("shadow-sample", 8, "with -quality, shadow-match 1-in-N no-match requests and bookings (0 disables the shadow matcher)")
 	chBench := flag.Bool("ch-bench", false, "run the routing head-to-head (plain A* vs ALT vs CH) instead of figure replays")
 	chSizes := flag.String("ch-sizes", "20x12,40x22,80x44", "comma-separated ROWSxCOLS city sizes for -ch-bench, smallest to largest")
 	chPairs := flag.Int("ch-pairs", 256, "random query pairs per size for -ch-bench")
@@ -134,12 +137,23 @@ func main() {
 		if *auditFlag {
 			w.Journal = journal.New(journal.Config{})
 		}
+		if *qualityFlag {
+			// Registered into the shared registry, so -prom dumps carry
+			// the funnel series alongside the latency histograms.
+			w.Quality = quality.New(w.Telemetry)
+			w.ShadowSampleRate = *shadowSample
+		}
 		eng, err := runParallel(w, *parallel, ops)
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer eng.Close()
 		if *auditFlag {
 			runAudit(w, eng)
+		}
+		if w.Quality != nil {
+			eng.ShadowFlush()
+			printQuality(w.Quality.Snapshot())
 		}
 		if *prom != "" {
 			if err := dumpProm(w.Telemetry, *prom); err != nil {
@@ -154,6 +168,16 @@ func main() {
 		return
 	}
 
+	if *qualityFlag {
+		// One collector shared by every engine the figure replays build,
+		// so the printed funnel aggregates the whole run. The replays'
+		// engines are internal to the experiments package and outlive the
+		// summary unflushed, so a handful of shadow tasks may still be in
+		// flight when it prints — counters are cumulative lower bounds.
+		w.Quality = quality.New(w.Telemetry)
+		w.ShadowSampleRate = *shadowSample
+	}
+
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {
 		figs = []string{"3a", "3b", "3cd", "4", "5a", "5b", "6", "ablations"}
@@ -162,6 +186,9 @@ func main() {
 		if err := run(w, strings.TrimSpace(f)); err != nil {
 			log.Fatalf("fig %s: %v", f, err)
 		}
+	}
+	if w.Quality != nil {
+		printQuality(w.Quality.Snapshot())
 	}
 
 	if *prom != "" {
@@ -204,6 +231,7 @@ func runAudit(w *experiments.World, eng *core.Engine) {
 		Graph:   w.Disc.City().Graph,
 		Epsilon: w.Disc.Epsilon(),
 		Journal: w.Journal,
+		Quality: w.Quality,
 	}})
 	rep := auditor.Audit()
 	log.Printf("audit: checked %d live rides across %d shards + %d journaled timelines in %.1f ms",
@@ -215,6 +243,40 @@ func runAudit(w *experiments.World, eng *core.Engine) {
 		log.Fatalf("audit: %d invariant violation(s) — failing", len(rep.Violations))
 	}
 	log.Printf("audit: all invariants hold (0 violations)")
+}
+
+// printQuality prints the run's match-quality picture: the candidate
+// funnel, the approximation-gap distributions, and (when the shadow
+// matcher ran) the constraint attribution and greedy-regret stats.
+func printQuality(s quality.Snapshot) {
+	fmt.Printf("\n--- match quality ---\n")
+	fmt.Printf("candidates examined: %d\n", s.CandidatesExamined)
+	for _, st := range quality.Stages() {
+		if n := s.Funnel[st]; n > 0 || st == "matched" {
+			fmt.Printf("  %-18s %d\n", st, n)
+		}
+	}
+	if s.DetourSlack.Count > 0 {
+		fmt.Printf("detour slack ratio (of Theorem 6 limit): mean %.3f p50 %.3f p90 %.3f p99 %.3f (n=%d)\n",
+			s.DetourSlack.Mean, s.DetourSlack.P50, s.DetourSlack.P90, s.DetourSlack.P99, s.DetourSlack.Count)
+	}
+	if s.EpsilonConsumption.Count > 0 {
+		fmt.Printf("epsilon consumption (of 4ε allowance):   mean %.3f p50 %.3f p90 %.3f p99 %.3f (n=%d)\n",
+			s.EpsilonConsumption.Mean, s.EpsilonConsumption.P50, s.EpsilonConsumption.P90, s.EpsilonConsumption.P99, s.EpsilonConsumption.Count)
+	}
+	if s.Shadow.Enabled {
+		fmt.Printf("shadow: %d no-match + %d regret tasks (%d dropped)\n",
+			s.Shadow.Tasks[quality.TaskNoMatch], s.Shadow.Tasks[quality.TaskRegret], s.Shadow.Dropped)
+		for _, con := range quality.Constraints() {
+			if n := s.Shadow.Unlocks[con]; n > 0 {
+				fmt.Printf("  unlocked by relaxing %-16s %d\n", con, n)
+			}
+		}
+		if r := s.Shadow.Regret; r.Bookings > 0 {
+			fmt.Printf("  greedy regret: %d/%d re-matched bookings beat the greedy choice (mean %.0f m, max %.0f m)\n",
+				r.WithRegret, r.Rematched, r.MeanM, r.MaxM)
+		}
+	}
 }
 
 // dumpTraces writes the run's n slowest traces (full span trees) to path.
@@ -285,6 +347,10 @@ func runParallel(w *experiments.World, workers, ops int) (*core.Engine, error) {
 	cfg.Telemetry = w.Telemetry
 	cfg.Tracer = w.Tracer
 	cfg.Journal = w.Journal
+	cfg.Quality = w.Quality
+	if w.Quality != nil {
+		cfg.ShadowSampleRate = w.ShadowSampleRate
+	}
 	eng, err := core.NewEngine(w.Disc, cfg)
 	if err != nil {
 		return nil, err

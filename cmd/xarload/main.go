@@ -36,6 +36,7 @@ import (
 	"xar/internal/core"
 	"xar/internal/experiments"
 	"xar/internal/load"
+	"xar/internal/quality"
 	"xar/internal/server"
 	"xar/internal/telemetry"
 	"xar/internal/workload"
@@ -62,6 +63,9 @@ func main() {
 		mixF    = flag.String("mix", "", "op mix, e.g. search=0.7,book=0.15,create=0.1,track=0.04,cancel=0.01 (empty = default)")
 		infl    = flag.Int("inflight", 0, "max concurrently outstanding ops (0 = unbounded open loop)")
 		out     = flag.String("out", "BENCH_scale.json", "frontier output path (\"-\" = stdout)")
+
+		qualityF     = flag.Bool("quality", false, "collect the match-quality funnel during the sweep (engine/server modes) and log the summary after it")
+		shadowSample = flag.Int("shadow-sample", 8, "with -quality, shadow-match 1-in-N no-match requests and bookings (0 disables the shadow matcher)")
 
 		gateP99   = flag.Float64("gate-p99-ms", 0, "fail (exit 1) if the lowest-rate step's client p99 exceeds this many ms (0 = no gate)")
 		gateMatch = flag.Float64("gate-match-rate", 0, "fail if any step's match rate drops below this (0 = no gate)")
@@ -132,9 +136,14 @@ func main() {
 		reg := telemetry.NewRegistry()
 		telemetry.RegisterRuntimeMetrics(reg)
 		world.Telemetry = reg
+		if *qualityF {
+			world.Quality = quality.New(reg)
+			world.ShadowSampleRate = *shadowSample
+		}
 		if eng, err = world.NewXAREngine(); err != nil {
 			log.Fatal(err)
 		}
+		defer eng.Close()
 		if *mode == "engine" {
 			tgt = load.NewEngineTarget(eng)
 		} else {
@@ -142,8 +151,11 @@ func main() {
 				Interval:  time.Second,
 				Retention: 10 * time.Minute,
 			})
-			srv := httptest.NewServer(server.New(eng, core.NewSocialGraph(),
-				server.WithTelemetry(reg), server.WithRecorder(rec)).Handler())
+			opts := []server.Option{server.WithTelemetry(reg), server.WithRecorder(rec)}
+			if world.Quality != nil {
+				opts = append(opts, server.WithQuality(world.Quality))
+			}
+			srv := httptest.NewServer(server.New(eng, core.NewSocialGraph(), opts...).Handler())
 			defer srv.Close()
 			ht := load.NewHTTPTarget(srv.URL)
 			tgt, httpCl, baseURL = ht, ht, ht.BaseURL
@@ -198,6 +210,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if world.Quality != nil && eng != nil {
+		eng.ShadowFlush()
+		logQuality(world.Quality.Snapshot())
+	}
 	frontier.Mode = *mode
 	frontier.World = map[string]any{
 		"rows": *rows, "cols": *cols, "requests": *requests,
@@ -227,6 +243,37 @@ func main() {
 			log.Printf("GATE: %s", v)
 		}
 		os.Exit(1)
+	}
+}
+
+// logQuality prints the sweep's match-quality summary: the candidate
+// funnel and, when the shadow matcher ran, the unlock attribution.
+func logQuality(s quality.Snapshot) {
+	var stages []string
+	for _, st := range quality.Stages() {
+		if n := s.Funnel[st]; n > 0 {
+			stages = append(stages, fmt.Sprintf("%s=%d", st, n))
+		}
+	}
+	log.Printf("quality: %d candidates examined (%s)", s.CandidatesExamined, strings.Join(stages, " "))
+	if s.DetourSlack.Count > 0 {
+		log.Printf("quality: detour slack ratio mean %.3f p99 %.3f over %d bookings",
+			s.DetourSlack.Mean, s.DetourSlack.P99, s.DetourSlack.Count)
+	}
+	if s.Shadow.Enabled {
+		var unlocks []string
+		for _, con := range quality.Constraints() {
+			if n := s.Shadow.Unlocks[con]; n > 0 {
+				unlocks = append(unlocks, fmt.Sprintf("%s=%d", con, n))
+			}
+		}
+		log.Printf("quality: shadow %d no-match + %d regret tasks, %d dropped; unlocks: %s",
+			s.Shadow.Tasks[quality.TaskNoMatch], s.Shadow.Tasks[quality.TaskRegret],
+			s.Shadow.Dropped, strings.Join(unlocks, " "))
+		if r := s.Shadow.Regret; r.WithRegret > 0 {
+			log.Printf("quality: greedy regret on %d/%d re-matched bookings (mean %.0f m, max %.0f m)",
+				r.WithRegret, r.Rematched, r.MeanM, r.MaxM)
+		}
 	}
 }
 

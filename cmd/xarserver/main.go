@@ -28,6 +28,14 @@
 //	-bundle-dir DIR        SIGQUIT writes a debug bundle tar.gz here (also GET /v1/debug/bundle)
 //	-journal               journal ride-lifecycle events (/v1/rides/{id}/timeline, /v1/events)
 //	-audit-interval 30s    background invariant-audit sweep cadence (0 disables)
+//	-quality               collect the match-quality funnel and gap histograms (/v1/quality)
+//	-shadow-sample 8       shadow-match 1-in-N no-match requests and bookings (0 disables; needs -quality)
+//
+// Build identity (xar_build_info, /v1/healthz build section) is stamped
+// at link time:
+//
+//	go build -ldflags "-X xar/internal/telemetry.Version=v1.2.3 \
+//	    -X xar/internal/telemetry.Commit=$(git rev-parse --short HEAD)" ./cmd/xarserver
 package main
 
 import (
@@ -47,6 +55,7 @@ import (
 	"xar/internal/core"
 	"xar/internal/discretize"
 	"xar/internal/journal"
+	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/server"
 	"xar/internal/telemetry"
@@ -79,6 +88,8 @@ func main() {
 	bundleDir := flag.String("bundle-dir", ".", "directory SIGQUIT-triggered debug bundles are written to")
 	enableJournal := flag.Bool("journal", true, "record ride-lifecycle events into the fixed-memory journal; serves /v1/rides/{id}/timeline and /v1/events")
 	auditInterval := flag.Duration("audit-interval", 30*time.Second, "background invariant-audit sweep cadence (0 disables the auditor)")
+	enableQuality := flag.Bool("quality", true, "collect the match-quality funnel and approximation-gap histograms; serves /v1/quality")
+	shadowSample := flag.Int("shadow-sample", 8, "shadow-match 1-in-N no-match requests and bookings off the request path (0 disables; needs -quality)")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -134,10 +145,19 @@ func main() {
 	ecfg.SlowOpLogger = logger
 	ecfg.PprofLabels = *pprofLabels
 	ecfg.Journal = jr
+	var qc *quality.Collector
+	if *enableQuality {
+		qc = quality.New(reg)
+		ecfg.Quality = qc
+		ecfg.ShadowSampleRate = *shadowSample
+	} else if *shadowSample > 0 {
+		log.Printf("the shadow matcher needs -quality; running without it")
+	}
 	eng, err := core.NewEngine(disc, ecfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer eng.Close()
 	log.Printf("world ready in %v: %d road nodes, %d landmarks, %d clusters, ε=%.0f m, router=%s",
 		time.Since(start).Round(time.Millisecond),
 		city.Graph.NumNodes(), len(disc.Landmarks), disc.NumClusters(), disc.Epsilon(), eng.Router())
@@ -152,6 +172,9 @@ func main() {
 	if jr != nil {
 		opts = append(opts, server.WithJournal(jr))
 	}
+	if qc != nil {
+		opts = append(opts, server.WithQuality(qc))
+	}
 	if *auditInterval > 0 {
 		acfg := audit.Config{
 			Target: audit.Target{
@@ -159,6 +182,7 @@ func main() {
 				Graph:   city.Graph,
 				Epsilon: disc.Epsilon(),
 				Journal: jr,
+				Quality: qc,
 			},
 			Interval: *auditInterval,
 			Registry: reg,

@@ -18,6 +18,7 @@ import (
 	"xar/internal/audit"
 	"xar/internal/experiments"
 	"xar/internal/journal"
+	"xar/internal/quality"
 	"xar/internal/sim"
 	"xar/internal/telemetry"
 )
@@ -42,6 +43,8 @@ func main() {
 	historyInterval := flag.Float64("history-interval", 60, "simulated seconds between -history-out snapshots")
 	auditFlag := flag.Bool("audit", false, "journal the XAR replay's ride-lifecycle events, sweep the invariant auditor on the simulated clock, run a full synchronous audit after the replay, and exit non-zero on any violation")
 	auditInterval := flag.Float64("audit-interval", 300, "simulated seconds between -audit sweeps during the replay")
+	qualityFlag := flag.Bool("quality", false, "collect the XAR replay's match-quality funnel (and shadow counterfactuals at -shadow-sample) and print the summary after the run")
+	shadowSample := flag.Int("shadow-sample", 8, "with -quality, shadow-match 1-in-N no-match requests and bookings (0 disables the shadow matcher)")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -100,10 +103,15 @@ func main() {
 		if *auditFlag {
 			w.Journal = journal.New(journal.Config{})
 		}
+		if *qualityFlag {
+			w.Quality = quality.New(nil)
+			w.ShadowSampleRate = *shadowSample
+		}
 		eng, err := w.NewXAREngine()
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer eng.Close()
 		var auditor *audit.Auditor
 		if *auditFlag {
 			auditor = audit.New(audit.Config{Target: audit.Target{
@@ -111,11 +119,16 @@ func main() {
 				Graph:   w.Disc.City().Graph,
 				Epsilon: w.Disc.Epsilon(),
 				Journal: w.Journal,
+				Quality: w.Quality,
 			}})
 			xcfg.Auditor = auditor
 			xcfg.AuditInterval = *auditInterval
 		}
 		report(w, &sim.XARSystem{Engine: eng}, xcfg)
+		if w.Quality != nil {
+			eng.ShadowFlush()
+			printQuality(w.Quality.Snapshot())
+		}
 		if *traceOut != "" {
 			dumpTraces(*traceOut, w.Tracer, *traceTop)
 		}
@@ -162,6 +175,41 @@ func report(w *experiments.World, sys sim.System, cfg sim.Config) {
 		fmt.Printf("rider walking: %s\n", res.Walks.Summary("m"))
 	}
 	fmt.Printf("active rides at end: %d\n", sys.ActiveRides())
+}
+
+// printQuality prints the replay's match-quality picture: the candidate
+// funnel, the approximation-gap distributions, and (when the shadow
+// matcher ran) the constraint attribution and greedy-regret stats.
+func printQuality(s quality.Snapshot) {
+	fmt.Printf("\n--- match quality ---\n")
+	fmt.Printf("candidates examined: %d\n", s.CandidatesExamined)
+	for _, st := range quality.Stages() {
+		if n := s.Funnel[st]; n > 0 || st == "matched" {
+			fmt.Printf("  %-18s %d\n", st, n)
+		}
+	}
+	if s.DetourSlack.Count > 0 {
+		fmt.Printf("detour slack ratio (of Theorem 6 limit): mean %.3f p50 %.3f p90 %.3f p99 %.3f (n=%d)\n",
+			s.DetourSlack.Mean, s.DetourSlack.P50, s.DetourSlack.P90, s.DetourSlack.P99, s.DetourSlack.Count)
+	}
+	if s.EpsilonConsumption.Count > 0 {
+		fmt.Printf("epsilon consumption (of 4ε allowance):   mean %.3f p50 %.3f p90 %.3f p99 %.3f (n=%d)\n",
+			s.EpsilonConsumption.Mean, s.EpsilonConsumption.P50, s.EpsilonConsumption.P90, s.EpsilonConsumption.P99, s.EpsilonConsumption.Count)
+	}
+	if s.Shadow.Enabled {
+		fmt.Printf("shadow: %d no-match + %d regret tasks (%d dropped)\n",
+			s.Shadow.Tasks[quality.TaskNoMatch], s.Shadow.Tasks[quality.TaskRegret], s.Shadow.Dropped)
+		for _, con := range quality.Constraints() {
+			if n := s.Shadow.Unlocks[con]; n > 0 {
+				fmt.Printf("  unlocked by relaxing %-16s %d\n", con, n)
+			}
+		}
+		r := s.Shadow.Regret
+		if r.Bookings > 0 {
+			fmt.Printf("  greedy regret: %d/%d re-matched bookings beat the greedy choice (mean %.0f m, max %.0f m)\n",
+				r.WithRegret, r.Rematched, r.MeanM, r.MaxM)
+		}
+	}
 }
 
 // finalAudit runs the post-replay synchronous sweep and exits non-zero

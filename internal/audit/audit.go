@@ -6,7 +6,7 @@
 // regression in production surfaces as a counter, a log record and a
 // paged health status instead of a silent bad match.
 //
-// Four invariant families are checked, each its own `invariant` label of
+// Five invariant families are checked, each its own `invariant` label of
 // xar_audit_violations_total:
 //
 //   - detour_bound: every ride's realized detour stays within the
@@ -20,6 +20,10 @@
 //     miss or hallucinate matches if this breaks).
 //   - causality: journal event sequences are well-formed — no lifecycle
 //     event before the ride's created event, no double-terminal.
+//   - funnel_accounting: every candidate a search examined was classified
+//     into exactly one rejection-funnel stage (internal/quality) — a
+//     classification gap means the match-quality telemetry under-reports
+//     why searches fail.
 //
 // The auditor never takes more than one shard lock at a time (it audits
 // per-shard snapshots captured under single read-lock holds), so it can
@@ -35,6 +39,7 @@ import (
 
 	"xar/internal/index"
 	"xar/internal/journal"
+	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
 )
@@ -45,11 +50,12 @@ const (
 	InvCapacity         = "capacity"
 	InvIndexConsistency = "index_consistency"
 	InvCausality        = "causality"
+	InvFunnelAccounting = "funnel_accounting"
 )
 
 // Invariants returns the fixed label set (counter registration, tests).
 func Invariants() []string {
-	return []string{InvDetourBound, InvCapacity, InvIndexConsistency, InvCausality}
+	return []string{InvDetourBound, InvCapacity, InvIndexConsistency, InvCausality, InvFunnelAccounting}
 }
 
 // Violation is one confirmed invariant breach.
@@ -85,6 +91,9 @@ type Target struct {
 	Graph   *roadnet.Graph
 	Epsilon float64
 	Journal *journal.Journal
+	// Quality enables the funnel_accounting sweep (the engine's quality
+	// collector, core.Config.Quality).
+	Quality *quality.Collector
 }
 
 // Defaults.
@@ -195,9 +204,41 @@ func (a *Auditor) Audit() Report {
 		}
 	}
 	a.checkCausality(&rep)
+	a.checkFunnelAccounting(&rep)
 	rep.DurationSeconds = time.Since(start).Seconds()
 	a.finish(&rep)
 	return rep
+}
+
+// checkFunnelAccounting verifies the quality collector's candidate
+// accounting: examined == sum of funnel-stage classifications. The
+// collector orders its writes stages-first, so under a stable read of
+// the examined counter the stage sum can only legitimately run ahead
+// (an in-flight search added its stages but not yet its total); a
+// *deficit* under a stable read proves a candidate was examined without
+// being classified. Concurrent searches make individual reads unstable,
+// so the check retries a few times and abstains if the collector never
+// quiesces — an online auditor must not flake under load.
+func (a *Auditor) checkFunnelAccounting(rep *Report) {
+	qc := a.t.Quality
+	if qc == nil {
+		return
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		examined, classified, stable := qc.AccountingGap()
+		if !stable {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if classified < examined {
+			rep.Violations = append(rep.Violations, Violation{
+				Invariant: InvFunnelAccounting, Shard: -1,
+				Detail: fmt.Sprintf("funnel classified %d of %d examined candidates (gap %d)",
+					classified, examined, examined-classified),
+			})
+		}
+		return
+	}
 }
 
 // checkRide verifies the detour_bound and capacity invariants on one
@@ -308,9 +349,10 @@ func (a *Auditor) checkCausality(rep *Report) {
 			switch ev.Type {
 			case journal.Created:
 				created = true
-			case journal.SearchCandidate:
-				// Advisory and sampled: a candidate event races the
-				// ride's own lifecycle by design, so it proves nothing.
+			case journal.SearchCandidate, journal.MatchRejected:
+				// Advisory and sampled: candidate/rejection events race
+				// the ride's own lifecycle by design, so they prove
+				// nothing about it.
 			case journal.Completed:
 				terminals++
 				if terminals == 2 {

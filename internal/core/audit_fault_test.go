@@ -14,6 +14,7 @@ import (
 	"xar/internal/discretize"
 	"xar/internal/index"
 	"xar/internal/journal"
+	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
 )
@@ -36,19 +37,22 @@ func auditedEngine(t *testing.T) (*Engine, *journal.Journal, *audit.Auditor, *te
 		t.Fatal(err)
 	}
 	jr := journal.New(journal.Config{})
+	reg := telemetry.NewRegistry()
+	qc := quality.New(reg)
 	cfg := DefaultConfig()
 	cfg.Journal = jr
+	cfg.Quality = qc
 	e, err := NewEngine(d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg := telemetry.NewRegistry()
 	a := audit.New(audit.Config{
 		Target: audit.Target{
 			View:    e.Index(),
 			Graph:   d.City().Graph,
 			Epsilon: d.Epsilon(),
 			Journal: jr,
+			Quality: qc,
 		},
 		Registry: reg,
 		Logger:   slog.New(slog.NewTextHandler(discardWriter{}, nil)),
@@ -166,6 +170,15 @@ func TestAuditFaultInjection(t *testing.T) {
 			got, audit.InvIndexConsistency, audit.InvCausality)
 	}
 
+	// Fault 5 — funnel accounting: feed the quality collector examined
+	// candidates that were never classified into any stage, the signature
+	// of a search that dropped a candidate without attributing it.
+	e.Quality().AddFunnel(&[quality.NumStages]uint64{}, 5)
+	got = labels(a.Audit())
+	if len(got[audit.InvFunnelAccounting]) == 0 {
+		t.Fatalf("funnel fault: labels = %v, want %s", got, audit.InvFunnelAccounting)
+	}
+
 	// Cumulative accounting: every family's counter moved, sweeps counted,
 	// and the violating rides are queued for the debug bundle.
 	var sweeps float64
@@ -180,8 +193,8 @@ func TestAuditFaultInjection(t *testing.T) {
 			}
 		}
 	}
-	if sweeps != 7 {
-		t.Fatalf("xar_audit_sweeps_total = %v, want 7", sweeps)
+	if sweeps != 8 {
+		t.Fatalf("xar_audit_sweeps_total = %v, want 8", sweeps)
 	}
 	for _, inv := range audit.Invariants() {
 		if byInv[inv] < 1 {

@@ -124,6 +124,9 @@ func (e *Engine) bookCtx(ctx context.Context, m Match, req Request) (bk Booking,
 					"pu="+strconv.FormatInt(int64(puNode), 10)+" do="+strconv.FormatInt(int64(doNode), 10))
 				e.recordEvent(journal.SpliceCommitted, m.Ride, span, b.DetourActual,
 					"sp_runs="+strconv.Itoa(b.ShortestPathRuns))
+				// Greedy-regret sampling: re-match the request in the
+				// background against what is still bookable.
+				e.shadow.offerRegret(req, b.WalkSource+b.WalkDest)
 			}
 			return b, berr
 		}
@@ -270,6 +273,7 @@ func (e *Engine) tryBook(ctx context.Context, m Match, puLM, doLM int, puNode, d
 
 	e.m.bookings.Add(1)
 	e.m.shortestPaths.Add(uint64(spRuns))
+	e.observeBookingQuality(detourBudget, detour, estimate)
 
 	var puETA, doETA float64
 	for _, v := range r.Via {
@@ -294,6 +298,30 @@ func (e *Engine) tryBook(ctx context.Context, m Match, puLM, doLM int, puNode, d
 		DetourActual:     detour,
 		ShortestPathRuns: spRuns,
 	}, false, nil
+}
+
+// observeBookingQuality records a confirmed booking's approximation-gap
+// telemetry: xar_detour_slack_ratio — how much of the Theorem 6 detour
+// envelope (remaining budget + the 4ε allowance) the exact detour
+// consumed — and xar_epsilon_consumption_ratio — what fraction of the
+// 4ε additive error bound the cluster estimate actually missed by.
+// Two histogram observations per booking; nothing on the search path.
+func (e *Engine) observeBookingQuality(budget, detour, estimate float64) {
+	qc := e.quality
+	if qc == nil {
+		return
+	}
+	eps4 := 4 * e.disc.Epsilon()
+	if lim := budget + eps4; lim > 0 {
+		qc.ObserveSlack(detour / lim)
+	}
+	if eps4 > 0 {
+		over := detour - estimate
+		if over < 0 {
+			over = 0
+		}
+		qc.ObserveEpsilonConsumption(over / eps4)
+	}
 }
 
 // refineDetourEstimate predicts the booking's exact splice detour from

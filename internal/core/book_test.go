@@ -80,7 +80,7 @@ func TestMultipleBookingsAccumulate(t *testing.T) {
 		validateRide(t, e, r)
 	}
 	if booked < 2 {
-		t.Skipf("only %d bookings landed; layout-dependent", booked)
+		t.Fatalf("only %d of 5 bookings landed on the seeded world", booked)
 	}
 	if len(r.Via) != 2+2*booked {
 		t.Fatalf("via count %d after %d bookings", len(r.Via), booked)
@@ -150,13 +150,9 @@ func TestBookingSameSegmentTwice(t *testing.T) {
 	}
 	r := e.Ride(id)
 	for i := 0; i < 2; i++ {
-		req := requestAlong(e, r, 0.4, 0.6, 1e6, 1000)
-		ms, err := e.Search(req)
-		if err != nil || len(ms) == 0 {
-			t.Skipf("booking %d found no match; layout-dependent", i)
-		}
+		req, ms := mustSearchAlong(t, e, r, 0.4, 0.6, 1e6, 1000)
 		if _, err := e.Book(ms[0], req); err != nil {
-			t.Skipf("booking %d failed: %v", i, err)
+			t.Fatalf("booking %d failed: %v", i, err)
 		}
 		validateRide(t, e, r)
 	}
@@ -170,11 +166,7 @@ func TestBookingNarrowWindowRespectED(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := e.Ride(id)
-	req := requestAlong(e, r, 0.3, 0.7, 1e6, 900)
-	ms, err := e.Search(req)
-	if err != nil || len(ms) == 0 {
-		t.Skip("no match; layout-dependent")
-	}
+	req, ms := mustSearchAlong(t, e, r, 0.3, 0.7, 1e6, 900)
 	bk, err := e.Book(ms[0], req)
 	if err != nil {
 		t.Fatal(err)
@@ -195,11 +187,7 @@ func TestBookingRefusedWhenVehiclePassedSegment(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := e.Ride(id)
-	req := requestAlong(e, r, 0.1, 0.5, 1e6, 900)
-	ms, err := e.Search(req)
-	if err != nil || len(ms) == 0 {
-		t.Skip("no match; layout-dependent")
-	}
+	req, ms := mustSearchAlong(t, e, r, 0.1, 0.5, 1e6, 900)
 	m := ms[0]
 	// Drive the vehicle to 90% of the route, then book the stale match.
 	end := r.RouteETA[len(r.RouteETA)-1]

@@ -24,6 +24,7 @@ import (
 	"xar/internal/geo"
 	"xar/internal/index"
 	"xar/internal/journal"
+	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
 )
@@ -153,6 +154,26 @@ type Config struct {
 	// journaling (one nil check per emit site). See OBSERVABILITY.md
 	// "Event journal & auditing".
 	Journal *journal.Journal
+	// Quality, when non-nil, turns on match-quality accounting: every
+	// search classifies each candidate it examined into exactly one
+	// rejection-funnel stage (xar_search_funnel_total{stage}), and every
+	// confirmed booking records its approximation-gap ratios
+	// (xar_detour_slack_ratio, xar_epsilon_consumption_ratio). The
+	// collector is deliberately separate from Telemetry so the quality
+	// layer can be toggled without perturbing the latency baselines. Nil
+	// leaves the search loop free of funnel counting (one nil check per
+	// shard). See OBSERVABILITY.md "Match quality".
+	Quality *quality.Collector
+	// ShadowSampleRate enables the shadow counterfactual matcher on top
+	// of Quality: 1-in-N no-match searches are re-run off the request
+	// path with systematically relaxed constraints to attribute the
+	// binding constraint (xar_shadow_unlock_total{constraint}), and
+	// 1-in-N bookings are re-matched against the post-booking candidate
+	// set to measure greedy regret. Rounded up to a power of two; 0
+	// disables the shadow matcher (the default); 1 shadows every
+	// eligible request (tests). Requires Quality; counterfactual
+	// searches never touch metrics, traces, the journal, or the funnel.
+	ShadowSampleRate int
 }
 
 // DefaultConfig returns production defaults.
@@ -281,9 +302,11 @@ type Engine struct {
 	// algo label. Nil without telemetry.
 	routeQueries *telemetry.Counter
 
-	m   metrics
-	tel *engineTelemetry // nil → uninstrumented
-	jr  *journal.Journal // nil → no event journaling
+	m       metrics
+	tel     *engineTelemetry   // nil → uninstrumented
+	jr      *journal.Journal   // nil → no event journaling
+	quality *quality.Collector // nil → no funnel/approximation accounting
+	shadow  *shadowMatcher     // nil → no counterfactual re-matching
 }
 
 // Router values for Config.Router, and the strings Engine.Router()
@@ -313,6 +336,12 @@ func NewEngine(disc *discretize.Discretization, cfg Config) (*Engine, error) {
 	}
 	if cfg.SearchWorkers < 0 {
 		return nil, fmt.Errorf("xar: negative SearchWorkers")
+	}
+	if cfg.ShadowSampleRate < 0 {
+		return nil, fmt.Errorf("xar: negative ShadowSampleRate")
+	}
+	if cfg.ShadowSampleRate > 0 && cfg.Quality == nil {
+		return nil, fmt.Errorf("xar: ShadowSampleRate requires Config.Quality")
 	}
 	if cfg.Index.AvgSpeed == 0 {
 		cfg.Index = index.DefaultConfig()
@@ -387,8 +416,35 @@ func NewEngine(disc *discretize.Discretization, cfg Config) (*Engine, error) {
 	}
 	if cfg.Telemetry != nil {
 		registerShardGauges(cfg.Telemetry, ix.View())
+		// Cumulative match rate as a gauge so the flight recorder picks
+		// up its history alongside the op-latency series.
+		cfg.Telemetry.GaugeFunc("xar_match_rate",
+			"Average matches returned per search, cumulative since engine start.",
+			nil, func() float64 { return e.Metrics().MatchRate() })
+	}
+	if cfg.Quality != nil {
+		e.quality = cfg.Quality
+		if cfg.ShadowSampleRate > 0 {
+			e.shadow = newShadowMatcher(e, cfg.Quality, cfg.ShadowSampleRate)
+			cfg.Quality.SetShadowEnabled(true)
+		}
 	}
 	return e, nil
+}
+
+// Quality returns the engine's match-quality collector (nil when
+// Config.Quality was not set).
+func (e *Engine) Quality() *quality.Collector { return e.quality }
+
+// Close stops the engine's background work — today the shadow
+// counterfactual matcher's worker, after draining its queue. The engine
+// itself stays fully usable (searches, bookings); only shadow
+// re-matching ends. Safe to call more than once, and a no-op when no
+// shadow matcher was configured.
+func (e *Engine) Close() {
+	if e.shadow != nil {
+		e.shadow.close()
+	}
 }
 
 // tracedShortestPath runs one pooled shortest-path search under a
@@ -570,6 +626,8 @@ func (e *Engine) ConfigSummary() map[string]any {
 		"index_shards":           e.ix.NumShards(),
 		"search_workers":         e.cfg.SearchWorkers,
 		"pprof_labels":           e.cfg.PprofLabels,
+		"quality":                e.quality != nil,
+		"shadow_sample_rate":     e.cfg.ShadowSampleRate,
 		"epsilon_m":              e.disc.Epsilon(),
 		"num_clusters":           e.disc.NumClusters(),
 		"num_landmarks":          len(e.disc.Landmarks),

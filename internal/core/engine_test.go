@@ -154,6 +154,22 @@ func requestAlong(e *Engine, r *index.Ride, fromFrac, toFrac, window, walk float
 	}
 }
 
+// mustSearchAlong is requestAlong + Search with a hard failure when
+// nothing matches. Every test world is seeded, so "no match" is a
+// behavior regression to report, not layout noise to skip over.
+func mustSearchAlong(t testing.TB, e *Engine, r *index.Ride, fromFrac, toFrac, window, walk float64) (Request, []Match) {
+	t.Helper()
+	req := requestAlong(e, r, fromFrac, toFrac, window, walk)
+	ms, err := e.Search(req)
+	if err != nil {
+		t.Fatalf("search along ride %d [%.2f→%.2f]: %v", r.ID, fromFrac, toFrac, err)
+	}
+	if len(ms) == 0 {
+		t.Fatalf("search along ride %d [%.2f→%.2f] found no match on the seeded world", r.ID, fromFrac, toFrac)
+	}
+	return req, ms
+}
+
 func TestSearchFindsCorridorRide(t *testing.T) {
 	e := newTestEngine(t)
 	src, dst := farPoints(t, e)

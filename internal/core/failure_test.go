@@ -134,11 +134,7 @@ func TestStaleMatchAfterRideFills(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := e.Ride(id)
-	req := requestAlong(e, r, 0.3, 0.7, 1e6, 900)
-	ms, err := e.Search(req)
-	if err != nil || len(ms) == 0 {
-		t.Skip("no match; layout-dependent")
-	}
+	req, ms := mustSearchAlong(t, e, r, 0.3, 0.7, 1e6, 900)
 	// Hold the match, fill the only seat through another booking, then
 	// try to book the stale match.
 	if _, err := e.Book(ms[0], req); err != nil {
@@ -157,11 +153,7 @@ func TestStaleMatchAfterRideCompletes(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := e.Ride(id)
-	req := requestAlong(e, r, 0.3, 0.7, 1e6, 900)
-	ms, err := e.Search(req)
-	if err != nil || len(ms) == 0 {
-		t.Skip("no match; layout-dependent")
-	}
+	req, ms := mustSearchAlong(t, e, r, 0.3, 0.7, 1e6, 900)
 	e.CompleteRide(id)
 	if _, err := e.Book(ms[0], req); err != ErrUnknownRide {
 		t.Fatalf("booking on a completed ride: err = %v", err)

@@ -21,20 +21,26 @@ type Metrics struct {
 	// commit and had to retry. A high rate relative to Bookings signals
 	// heavy contention on individual rides.
 	BookConflictRetries uint64
+	// CandidatesExamined counts ride candidates that reached the search
+	// funnel (survived the posting-list window scan of step 1). Zero
+	// unless Config.Quality is set; when it is, this equals the sum of
+	// all xar_search_funnel_total stages by construction.
+	CandidatesExamined uint64
 }
 
 // metrics is the engine-internal atomic counter block.
 type metrics struct {
-	searches       atomic.Uint64
-	searchMatches  atomic.Uint64
-	ridesCreated   atomic.Uint64
-	bookings       atomic.Uint64
-	bookingsFailed atomic.Uint64
-	cancellations  atomic.Uint64
+	searches            atomic.Uint64
+	searchMatches       atomic.Uint64
+	ridesCreated        atomic.Uint64
+	bookings            atomic.Uint64
+	bookingsFailed      atomic.Uint64
+	cancellations       atomic.Uint64
 	trackCalls          atomic.Uint64
 	ridesCompleted      atomic.Uint64
 	shortestPaths       atomic.Uint64
 	bookConflictRetries atomic.Uint64
+	candidatesExamined  atomic.Uint64
 }
 
 // Metrics returns a consistent-enough snapshot of the counters (each
@@ -53,6 +59,7 @@ func (e *Engine) Metrics() Metrics {
 		ShortestPaths:  e.m.shortestPaths.Load(),
 
 		BookConflictRetries: e.m.bookConflictRetries.Load(),
+		CandidatesExamined:  e.m.candidatesExamined.Load(),
 	}
 }
 

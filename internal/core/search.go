@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"runtime/pprof"
 	"sort"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 	"xar/internal/geo"
 	"xar/internal/index"
 	"xar/internal/journal"
+	"xar/internal/quality"
 	"xar/internal/telemetry"
 )
 
@@ -90,8 +92,20 @@ func (e *Engine) searchCtx(ctx context.Context, req Request) (out []Match, err e
 	} else if timed {
 		start = time.Now()
 	}
-	out, err = e.search(span, req, timed, sampled)
+	opts := searchOpts{qc: e.quality}
+	var rej []rejectedCandidate
+	if e.jr != nil && sampled && e.quality != nil {
+		opts.rej = &rej
+	}
+	out, err = e.search(span, req, timed, sampled, opts)
 	e.m.searchMatches.Add(uint64(len(out)))
+	// A no-match search is the shadow matcher's raw material: re-run it
+	// off the request path with relaxed constraints to attribute the
+	// binding one. offer() itself samples, so the hot path pays one nil
+	// check plus (shadow on) one atomic increment.
+	if err == nil && len(out) == 0 {
+		e.shadow.offerNoMatch(req)
+	}
 	// Journal candidate surfacing for sampled searches only: searches
 	// are the sub-microsecond hot path and return many matches, so an
 	// unconditional emit would dominate their cost. The events are
@@ -104,6 +118,14 @@ func (e *Engine) searchCtx(ctx context.Context, req Request) (out []Match, err e
 				break
 			}
 			e.recordEvent(journal.SearchCandidate, out[i].Ride, span, out[i].DetourEstimate, "")
+		}
+		// The rejection side of the same story, capped alike: which
+		// rides a sampled search eliminated and at which funnel stage.
+		for i := range rej {
+			if i == maxCandidateEvents {
+				break
+			}
+			e.recordEvent(journal.MatchRejected, rej[i].id, span, 0, quality.StageName(rej[i].stage))
 		}
 	}
 	if timed {
@@ -146,6 +168,38 @@ type sideCandidate struct {
 	walk    float64
 }
 
+// relaxFlags marks constraints the shadow counterfactual matcher lifts
+// when re-running a no-match request. The production search always runs
+// with relax == 0.
+type relaxFlags uint8
+
+const (
+	relaxCapacity relaxFlags = 1 << iota // ignore SeatsAvail
+	relaxDetour                          // ignore the ride's detour budget
+	relaxOrder                           // ignore pickup-before-drop-off ordering
+)
+
+// searchOpts threads the quality layer through the search fan-out:
+// which collector (if any) receives the funnel classification, whether
+// per-candidate rejection records should be collected for the journal,
+// and which constraints a shadow re-run relaxes. The zero value is the
+// uninstrumented production search.
+type searchOpts struct {
+	qc    *quality.Collector
+	relax relaxFlags
+	// rej, when non-nil, receives the per-candidate rejection records of
+	// this search (sampled searches with a journal only).
+	rej *[]rejectedCandidate
+}
+
+// rejectedCandidate is one candidate ride a search eliminated, with the
+// funnel stage that eliminated it — the raw material of the journal's
+// match_rejected events.
+type rejectedCandidate struct {
+	id    index.RideID
+	stage int
+}
+
 // shardSearchResult carries one shard's matches plus its stage timings
 // (zero unless the search is traced). Timings are accumulated per shard
 // and summed after the join, so the parallel fan-out needs no shared
@@ -154,6 +208,18 @@ type shardSearchResult struct {
 	matches          []Match
 	cand, final      time.Duration
 	walkPair, detour time.Duration
+	// funnel counts this shard's candidate eliminations per quality
+	// stage (all zero unless the engine has a quality collector). Local
+	// ints here, one batched atomic add after the merge — the funnel
+	// never adds per-candidate atomics to the hot loop. examined is the
+	// candidate-set size (len(r1)), counted independently of the stages
+	// so the auditor's funnel_accounting invariant cross-checks the
+	// classification rather than restating it.
+	funnel   [quality.NumStages]uint64
+	examined uint64
+	// rejects are the per-candidate rejection records (nil unless the
+	// search asked for them via searchOpts.rej).
+	rejects []rejectedCandidate
 	// end is the shard span's close instant (zero unless this shard
 	// recorded a span); the serial fan-out reuses it as the next shard
 	// span's start, halving the traced loop's clock reads.
@@ -193,7 +259,7 @@ func (s *searchScratch) reset() {
 // per-candidate clocks — exactly the pre-trace semantics. A
 // trace-recorded but metrics-unsampled search records its span tree and
 // the op histogram, nothing finer, keeping the traced hot path lean.
-func (e *Engine) search(span *telemetry.Span, req Request, timed, fine bool) ([]Match, error) {
+func (e *Engine) search(span *telemetry.Span, req Request, timed, fine bool, opts searchOpts) ([]Match, error) {
 	// tel is the per-stage histogram sink — non-nil only for
 	// metrics-sampled searches.
 	var tel *engineTelemetry
@@ -228,7 +294,7 @@ func (e *Engine) search(span *telemetry.Span, req Request, timed, fine bool) ([]
 					tel.stages[stageSideLookup].ObserveDuration(fanStart.Sub(mark))
 				}
 			}
-			return e.searchShards(span, req, srcSide, dstSide, fine, tel, fanStart)
+			return e.searchShards(span, req, srcSide, dstSide, fine, tel, fanStart, opts)
 		}
 	}
 	if sideSpan != nil {
@@ -241,7 +307,7 @@ func (e *Engine) search(span *telemetry.Span, req Request, timed, fine bool) ([]
 // searchShards runs the per-shard fan-out (serial or over the worker
 // pool) and merges results; split from search so the side-lookup span
 // closes cleanly on the error paths above.
-func (e *Engine) searchShards(span *telemetry.Span, req Request, srcSide, dstSide []sideCandidate, fine bool, tel *engineTelemetry, fanStart time.Time) ([]Match, error) {
+func (e *Engine) searchShards(span *telemetry.Span, req Request, srcSide, dstSide []sideCandidate, fine bool, tel *engineTelemetry, fanStart time.Time, opts searchOpts) ([]Match, error) {
 
 	nsh := e.ix.NumShards()
 	var results []shardSearchResult
@@ -259,7 +325,7 @@ func (e *Engine) searchShards(span *telemetry.Span, req Request, srcSide, dstSid
 		// so each close instant feeds forward as the next start.
 		start := fanStart
 		for i := 0; i < nsh; i++ {
-			results[i] = e.searchShard(span, i, req, srcSide, dstSide, fine, scratch, start)
+			results[i] = e.searchShard(span, i, req, srcSide, dstSide, fine, scratch, start, opts)
 			start = results[i].end
 		}
 		defer e.scratchPool.Put(scratch)
@@ -292,10 +358,10 @@ func (e *Engine) searchShards(span *telemetry.Span, req Request, srcSide, dstSid
 						pprof.Do(context.Background(),
 							pprof.Labels("op", opSearch, "stage", "shard_fanout", "shard", strconv.Itoa(i)),
 							func(context.Context) {
-								results[i] = e.searchShard(span, i, req, srcSide, dstSide, fine, scratch, time.Time{})
+								results[i] = e.searchShard(span, i, req, srcSide, dstSide, fine, scratch, time.Time{}, opts)
 							})
 					} else {
-						results[i] = e.searchShard(span, i, req, srcSide, dstSide, fine, scratch, time.Time{})
+						results[i] = e.searchShard(span, i, req, srcSide, dstSide, fine, scratch, time.Time{}, opts)
 					}
 				}
 			}()
@@ -305,12 +371,35 @@ func (e *Engine) searchShards(span *telemetry.Span, req Request, srcSide, dstSid
 
 	var out []Match
 	var candTime, finalTime, walkPairTime, detourTime time.Duration
+	var funnel [quality.NumStages]uint64
+	var examined uint64
 	for i := range results {
 		out = append(out, results[i].matches...)
 		candTime += results[i].cand
 		finalTime += results[i].final
 		walkPairTime += results[i].walkPair
 		detourTime += results[i].detour
+		if opts.qc != nil {
+			examined += results[i].examined
+			for st, n := range results[i].funnel {
+				funnel[st] += n
+			}
+			if opts.rej != nil && len(results[i].rejects) > 0 {
+				*opts.rej = append(*opts.rej, results[i].rejects...)
+			}
+		}
+	}
+	if opts.qc != nil {
+		opts.qc.AddFunnel(&funnel, examined)
+		e.m.candidatesExamined.Add(examined)
+		if span != nil && examined > 0 {
+			span.SetInt("candidates", int64(examined))
+			for st, n := range funnel {
+				if n > 0 && st != quality.Matched {
+					span.SetInt("rejected_"+quality.StageName(st), int64(n))
+				}
+			}
+		}
 	}
 	var sortMark time.Time
 	if tel != nil {
@@ -341,7 +430,7 @@ func (e *Engine) searchShards(span *telemetry.Span, req Request, srcSide, dstSid
 // shard number and match count — the per-shard fan-out breakdown that
 // explains a straggling stripe; when the search is also metrics-sampled
 // (fine) the span additionally carries the candidate/final stage split.
-func (e *Engine) searchShard(parent *telemetry.Span, shard int, req Request, srcSide, dstSide []sideCandidate, fine bool, s *searchScratch, start time.Time) (res shardSearchResult) {
+func (e *Engine) searchShard(parent *telemetry.Span, shard int, req Request, srcSide, dstSide []sideCandidate, fine bool, s *searchScratch, start time.Time, opts searchOpts) (res shardSearchResult) {
 	span := parent.ChildAt("search_shard", start)
 	var mark time.Time
 	inFinal := false
@@ -417,11 +506,39 @@ func (e *Engine) searchShard(parent *telemetry.Span, shard int, req Request, src
 		inFinal = true
 	}
 
+	// Funnel accounting (quality collector only): every ride in r1 is
+	// one examined candidate and lands in exactly one stage. Candidates
+	// that fell out of the r1∩r2 intersection missed the destination
+	// window; the final loop classifies the survivors. Local counts
+	// here, one batched atomic add after the merge.
+	track := opts.qc != nil
+	if track {
+		res.examined = uint64(len(r1))
+		res.funnel[quality.WindowMiss] += uint64(len(r1) - len(r2))
+	}
+	reject := func(id index.RideID, stage int) {
+		res.funnel[stage]++
+		if opts.rej != nil {
+			res.rejects = append(res.rejects, rejectedCandidate{id: id, stage: stage})
+		}
+	}
+
 	// Final checks on the intersection.
 	for id, dst := range r2 {
 		src := r1[id]
 		r := ix.Ride(id)
-		if r == nil || r.SeatsAvail <= 0 {
+		if r == nil {
+			// Stale posting: the ride left the index between the window
+			// scan and this lookup — it is in no window anymore.
+			if track {
+				res.funnel[quality.WindowMiss]++
+			}
+			continue
+		}
+		if r.SeatsAvail <= 0 && opts.relax&relaxCapacity == 0 {
+			if track {
+				reject(id, quality.Capacity)
+			}
 			continue
 		}
 		// Combined walking distance within the requester's limit. The
@@ -440,20 +557,32 @@ func (e *Engine) searchShard(parent *telemetry.Span, shard int, req Request, src
 				src, dst, ok = bestWalkPair(ix, srcSide, dstSide, id, req)
 			}
 			if !ok {
+				if track {
+					reject(id, quality.WalkLimit)
+				}
 				continue
 			}
 		}
 		var m Match
 		var ok bool
-		if fine {
+		switch {
+		case opts.relax&(relaxDetour|relaxOrder) != 0:
+			m, ok = checkDetourAndOrderRelaxed(ix, r, src.cluster, dst.cluster, opts.relax)
+		case fine:
 			t0 := time.Now()
 			m, ok = checkDetourAndOrder(ix, r, src.cluster, dst.cluster)
 			res.detour += time.Since(t0)
-		} else {
+		default:
 			m, ok = checkDetourAndOrder(ix, r, src.cluster, dst.cluster)
 		}
 		if !ok {
+			if track {
+				reject(id, classifyDetourReject(ix, r, src.cluster, dst.cluster))
+			}
 			continue
+		}
+		if track {
+			res.funnel[quality.Matched]++
 		}
 		m.WalkSource = src.walk
 		m.WalkDest = dst.walk
@@ -544,6 +673,80 @@ func checkDetourAndOrder(ix *index.Index, r *index.Ride, cs, cd int) (Match, boo
 				continue // estimated drop-off before estimated pickup
 			}
 			if total > r.DetourLimit {
+				continue
+			}
+			bestTotal = total
+			bm = Match{
+				Ride:           r.ID,
+				PickupCluster:  cs,
+				DropoffCluster: cd,
+				DetourEstimate: total,
+				PickupETA:      s.ETA,
+				DropoffETA:     d.ETA,
+				pickupOrder:    s.Order,
+				dropoffOrder:   d.Order,
+				pickupSegv:     s.Seg,
+				dropoffSegv:    d.Seg,
+			}
+			found = true
+			break
+		}
+	}
+	return bm, found
+}
+
+// classifyDetourReject attributes a checkDetourAndOrder failure to its
+// binding constraint for the funnel: if any support pair is
+// order-feasible (drop-off support at or after the pickup support in
+// both route order and ETA), only the detour budget stood in the way;
+// otherwise no valid ordering exists at all (including the
+// no-support-pair case). Runs only for quality-tracked searches, on
+// the already-rejected slow path.
+func classifyDetourReject(ix *index.Index, r *index.Ride, cs, cd int) int {
+	sups := ix.Supports(r.ID, cs)
+	dups := ix.Supports(r.ID, cd)
+	for _, s := range sups {
+		for _, d := range dups {
+			if d.Order >= s.Order && d.ETA >= s.ETA {
+				return quality.DetourBound
+			}
+		}
+	}
+	return quality.OrderInfeasible
+}
+
+// checkDetourAndOrderRelaxed is checkDetourAndOrder with shadow-matcher
+// relaxations: relaxDetour lifts the ride's remaining budget,
+// relaxOrder lifts the pickup-before-drop-off requirement. Kept
+// separate so the production hot path never branches on relax flags
+// inside the support scan.
+func checkDetourAndOrderRelaxed(ix *index.Index, r *index.Ride, cs, cd int, relax relaxFlags) (Match, bool) {
+	sups := ix.Supports(r.ID, cs)
+	dups := ix.Supports(r.ID, cd)
+	if len(sups) == 0 || len(dups) == 0 {
+		return Match{}, false
+	}
+	limit := r.DetourLimit
+	if relax&relaxDetour != 0 {
+		limit = math.Inf(1)
+	}
+	ignoreOrder := relax&relaxOrder != 0
+	bestTotal := limit + 1
+	var bm Match
+	found := false
+	for _, s := range sups {
+		if s.Detour >= bestTotal {
+			break
+		}
+		for _, d := range dups {
+			total := s.Detour + d.Detour
+			if total >= bestTotal {
+				break
+			}
+			if !ignoreOrder && (d.Order < s.Order || d.ETA < s.ETA) {
+				continue
+			}
+			if total > limit {
 				continue
 			}
 			bestTotal = total

@@ -12,6 +12,7 @@ import (
 	"xar/internal/discretize"
 	"xar/internal/journal"
 	"xar/internal/mmtp"
+	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
 	"xar/internal/transit"
@@ -70,6 +71,13 @@ type World struct {
 	// replay (cmd/xarsim -audit / cmd/xarbench -audit wire this so the
 	// post-replay audit can check journal causality).
 	Journal *journal.Journal
+	// Quality, when non-nil, collects the match-quality funnel and
+	// approximation-gap histograms during the replay (cmd/xarsim
+	// -quality / cmd/xarload wire this for their post-run summaries).
+	Quality *quality.Collector
+	// ShadowSampleRate, when > 0 alongside Quality, runs the shadow
+	// counterfactual matcher at that 1-in-N sample rate.
+	ShadowSampleRate int
 }
 
 // BuildWorld generates the city, discretization (ε = Scale.Epsilon) and
@@ -127,6 +135,10 @@ func (w *World) NewXAREngine() (*core.Engine, error) {
 	}
 	cfg.Tracer = w.Tracer
 	cfg.Journal = w.Journal
+	cfg.Quality = w.Quality
+	if w.Quality != nil {
+		cfg.ShadowSampleRate = w.ShadowSampleRate
+	}
 	return core.NewEngine(w.Disc, cfg)
 }
 

@@ -37,6 +37,10 @@ const (
 	// search. Advisory — emitted only for metrics-sampled searches, so
 	// its absence proves nothing.
 	SearchCandidate EventType = "search_candidate"
+	// MatchRejected: the ride was a candidate of a (sampled) search but a
+	// funnel filter eliminated it; Note carries the binding constraint
+	// (the funnel stage name). Advisory, like SearchCandidate.
+	MatchRejected EventType = "match_rejected"
 	// Booked: a rider's booking was confirmed on the ride.
 	Booked EventType = "booked"
 	// SpliceCommitted: the booking's route splice was applied (new
@@ -58,7 +62,7 @@ const (
 // Types returns all event types (counter registration, query validation).
 func Types() []EventType {
 	return []EventType{
-		Created, SearchCandidate, Booked, SpliceCommitted,
+		Created, SearchCandidate, MatchRejected, Booked, SpliceCommitted,
 		BookConflictRetried, Cancelled, PickedUp, DroppedOff, Completed,
 	}
 }

@@ -176,6 +176,8 @@ func (s *Server) handleDebugBundle(w http.ResponseWriter, r *http.Request) {
 // with everything a post-incident look needs, captured at one instant:
 //
 //	config.json          engine configuration + world dimensions
+//	quality.json         match-quality funnel, slack distribution and
+//	                     shadow-matcher stats (when a collector is wired)
 //	slo.json             objective states (when an SLO engine is wired)
 //	audit.json           invariant-auditor state + last sweep report
 //	                     (when an auditor is wired)
@@ -250,6 +252,11 @@ func (s *Server) WriteDebugBundle(w io.Writer) error {
 			if err := addJSON("audit_timelines.json", timelines); err != nil {
 				return err
 			}
+		}
+	}
+	if s.quality != nil {
+		if err := addJSON("quality.json", s.qualityResponse()); err != nil {
+			return err
 		}
 	}
 	if s.recorder != nil {

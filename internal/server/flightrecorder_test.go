@@ -12,6 +12,7 @@ import (
 
 	"xar/internal/core"
 	"xar/internal/discretize"
+	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
 )
@@ -38,9 +39,11 @@ func newRecorderEnv(t testing.TB) *recorderEnv {
 	}
 	reg := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(telemetry.TracerConfig{SampleRate: 1})
+	qc := quality.New(reg)
 	cfg := core.DefaultConfig()
 	cfg.Telemetry = reg
 	cfg.Tracer = tracer
+	cfg.Quality = qc
 	eng, err := core.NewEngine(d, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +56,7 @@ func newRecorderEnv(t testing.TB) *recorderEnv {
 		DefaultSLOs(10*time.Millisecond)...)
 	s := httptest.NewServer(New(eng, core.NewSocialGraph(),
 		WithTelemetry(reg), WithTracer(tracer),
-		WithRecorder(rec), WithSLO(slo)).Handler())
+		WithRecorder(rec), WithSLO(slo), WithQuality(qc)).Handler())
 	t.Cleanup(s.Close)
 	return &recorderEnv{
 		testEnv: &testEnv{srv: s, eng: eng, city: city},
@@ -311,9 +314,10 @@ func TestDebugBundle(t *testing.T) {
 	}
 
 	for _, want := range []string{
-		"config.json", "slo.json", "history.json", "metrics.prom",
-		"shards.json", "traces_slowest.json", "traces_errors.json",
-		"goroutine.pprof", "goroutines.txt", "heap.pprof",
+		"config.json", "quality.json", "slo.json", "history.json",
+		"metrics.prom", "shards.json", "traces_slowest.json",
+		"traces_errors.json", "goroutine.pprof", "goroutines.txt",
+		"heap.pprof",
 	} {
 		if len(members[want]) == 0 {
 			t.Errorf("bundle member %s missing or empty", want)
@@ -328,6 +332,13 @@ func TestDebugBundle(t *testing.T) {
 	}
 	if cfg["index_shards"].(float64) < 1 || cfg["road_nodes"].(float64) < 100 {
 		t.Fatalf("config.json implausible: %v", cfg)
+	}
+	var qr QualityResponse
+	if err := json.Unmarshal(members["quality.json"], &qr); err != nil {
+		t.Fatalf("quality.json: %v", err)
+	}
+	if qr.CandidatesExamined == 0 || qr.Funnel["matched"] == 0 {
+		t.Fatalf("quality.json funnel empty after a matching search: %+v", qr.Funnel)
 	}
 	var slo SLOResponse
 	if err := json.Unmarshal(members["slo.json"], &slo); err != nil {

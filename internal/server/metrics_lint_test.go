@@ -77,8 +77,8 @@ func TestMetricNameHygiene(t *testing.T) {
 				t.Errorf("metric %s: _total suffix is reserved for counters", name)
 			}
 		case "histogram":
-			if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
-				t.Errorf("metric %s: histograms must carry a unit suffix (_seconds or _bytes)", name)
+			if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") && !strings.HasSuffix(name, "_ratio") {
+				t.Errorf("metric %s: histograms must carry a unit suffix (_seconds, _bytes, or _ratio)", name)
 			}
 		default:
 			t.Errorf("metric %s: unknown kind %q", name, kind)
@@ -95,6 +95,13 @@ func TestMetricNameHygiene(t *testing.T) {
 		"xar_ride_events_total",
 		"xar_audit_violations_total",
 		"xar_audit_sweeps_total",
+		"xar_search_funnel_total",
+		"xar_detour_slack_ratio",
+		"xar_epsilon_consumption_ratio",
+		"xar_shadow_unlock_total",
+		"xar_shadow_tasks_total",
+		"xar_build_info",
+		"xar_match_rate",
 		"go_goroutines",
 		"go_gc_pauses_seconds",
 	} {

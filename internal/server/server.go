@@ -21,6 +21,7 @@
 //	GET    /v1/metrics/json     full telemetry, JSON with percentiles
 //	GET    /v1/traces           recent traces (filter: op, min_ms, status)
 //	GET    /v1/traces/{id}      one trace as a span tree
+//	GET    /v1/quality          match-quality funnel, slack, shadow stats
 //	GET    /v1/healthz          liveness + uptime + engine counters
 //
 // Every route is wrapped in telemetry middleware: per-route request and
@@ -43,6 +44,7 @@ import (
 	"xar/internal/geo"
 	"xar/internal/index"
 	"xar/internal/journal"
+	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
 )
@@ -61,8 +63,10 @@ type Server struct {
 	cpuProfiler *telemetry.CPUProfiler
 	journal     *journal.Journal
 	auditor     *audit.Auditor
+	quality     *quality.Collector
 	accessLog   *slog.Logger
 	inflight    *telemetry.Gauge
+	build       telemetry.Build
 	started     time.Time
 }
 
@@ -104,6 +108,9 @@ func New(eng *core.Engine, social *core.SocialGraph, opts ...Option) *Server {
 		s.reg = telemetry.NewRegistry()
 	}
 	s.inflight = s.reg.Gauge(httpInflightName, "Requests currently being served.", nil)
+	// Every exposition carries the build identity (info-gauge idiom);
+	// healthz reports the same resolved values.
+	s.build = telemetry.RegisterBuildInfo(s.reg)
 
 	handle := func(pattern, route string, h http.HandlerFunc) {
 		s.mux.Handle(pattern, s.instrument(route, h))
@@ -126,6 +133,7 @@ func New(eng *core.Engine, social *core.SocialGraph, opts ...Option) *Server {
 	handle("GET /v1/traces/{id}", "/v1/traces/{id}", s.handleTraceByID)
 	handle("GET /v1/metrics/history", "/v1/metrics/history", s.handleMetricsHistory)
 	handle("GET /v1/slo", "/v1/slo", s.handleSLO)
+	handle("GET /v1/quality", "/v1/quality", s.handleQuality)
 	handle("GET /v1/debug/bundle", "/v1/debug/bundle", s.handleDebugBundle)
 	handle("GET /v1/healthz", "/v1/healthz", s.handleHealth)
 	return s
@@ -523,6 +531,10 @@ type HealthResponse struct {
 	// violation count and the last sweep's coverage. Any violation ever
 	// found escalates Status to "page".
 	Audit *audit.Health `json:"audit,omitempty"`
+	// Build identifies the running binary (ldflags-stamped version and
+	// commit, plus the Go toolchain) — the same identity the
+	// xar_build_info metric carries.
+	Build telemetry.Build `json:"build"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -538,6 +550,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Engine:        m,
 		LookToBook:    m.LookToBookRatio(),
 		MatchRate:     m.MatchRate(),
+		Build:         s.build,
 	}
 	if s.auditor != nil {
 		h := s.auditor.Health()

@@ -17,12 +17,14 @@ import (
 	"xar/internal/core"
 	"xar/internal/discretize"
 	"xar/internal/journal"
+	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
 )
 
 // tracedEnv is testEnv plus an always-sampling tracer shared between the
-// engine and the server, a ride-event journal and an invariant auditor —
+// engine and the server, a ride-event journal, an invariant auditor and
+// a match-quality collector with the shadow matcher at sample rate 1 —
 // the full wiring a production binary uses, at trace rate 1 so every
 // request records.
 type tracedEnv struct {
@@ -31,6 +33,7 @@ type tracedEnv struct {
 	reg     *telemetry.Registry
 	journal *journal.Journal
 	auditor *audit.Auditor
+	quality *quality.Collector
 }
 
 func newTracedEnv(t testing.TB) *tracedEnv {
@@ -46,27 +49,32 @@ func newTracedEnv(t testing.TB) *tracedEnv {
 	reg := telemetry.NewRegistry()
 	tr := telemetry.NewTracer(telemetry.TracerConfig{SampleRate: 1})
 	jr := journal.New(journal.Config{Registry: reg})
+	qc := quality.New(reg)
 	cfg := core.DefaultConfig()
 	cfg.Telemetry = reg
 	cfg.Tracer = tr
 	cfg.Journal = jr
+	cfg.Quality = qc
+	cfg.ShadowSampleRate = 1
 	eng, err := core.NewEngine(d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(eng.Close)
 	auditor := audit.New(audit.Config{
 		Target: audit.Target{
 			View:    eng.Index(),
 			Graph:   city.Graph,
 			Epsilon: d.Epsilon(),
 			Journal: jr,
+			Quality: qc,
 		},
 		Registry:   reg,
 		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
 		TraceStore: tr.Store(),
 	})
 	s := httptest.NewServer(New(eng, nil,
-		WithTelemetry(reg), WithTracer(tr), WithJournal(jr), WithAuditor(auditor)).Handler())
+		WithTelemetry(reg), WithTracer(tr), WithJournal(jr), WithAuditor(auditor), WithQuality(qc)).Handler())
 	t.Cleanup(s.Close)
 	return &tracedEnv{
 		testEnv: &testEnv{srv: s, eng: eng, city: city},
@@ -74,6 +82,7 @@ func newTracedEnv(t testing.TB) *tracedEnv {
 		reg:     reg,
 		journal: jr,
 		auditor: auditor,
+		quality: qc,
 	}
 }
 

@@ -1,0 +1,63 @@
+package telemetry
+
+import "runtime/debug"
+
+// Version and Commit identify the running build. They default to what
+// runtime/debug.ReadBuildInfo can recover from the module metadata and
+// are meant to be overridden at link time:
+//
+//	go build -ldflags "-X xar/internal/telemetry.Version=v1.2.3 \
+//	                   -X xar/internal/telemetry.Commit=abc1234"
+//
+// Version stays "dev" for an unstamped local build.
+var (
+	Version = "dev"
+	Commit  = ""
+)
+
+// Build is the resolved build identity exposed on /healthz and as the
+// xar_build_info metric.
+type Build struct {
+	Version   string `json:"version"`
+	Commit    string `json:"commit"`
+	GoVersion string `json:"go_version"`
+}
+
+// BuildInfo resolves the build identity: the -ldflags overrides when
+// set, else whatever the embedded module build info carries (VCS
+// revision for Commit, module version for Version).
+func BuildInfo() Build {
+	b := Build{Version: Version, Commit: Commit, GoVersion: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = bi.GoVersion
+	if b.Version == "dev" && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		b.Version = bi.Main.Version
+	}
+	if b.Commit == "" {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				b.Commit = s.Value
+				if len(b.Commit) > 12 {
+					b.Commit = b.Commit[:12]
+				}
+				break
+			}
+		}
+	}
+	return b
+}
+
+// RegisterBuildInfo publishes the Prometheus info-gauge idiom
+// xar_build_info{version,commit,go_version} = 1: the value is constant,
+// the identity lives in the labels, and joins against it annotate any
+// other series with the running build.
+func RegisterBuildInfo(r *Registry) Build {
+	b := BuildInfo()
+	r.Gauge("xar_build_info",
+		"Build identity of the running binary (constant 1; the labels carry the information).",
+		L("version", b.Version, "commit", b.Commit, "go_version", b.GoVersion)).Set(1)
+	return b
+}

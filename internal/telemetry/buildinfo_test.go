@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildInfoResolves(t *testing.T) {
+	b := BuildInfo()
+	if b.Version == "" || b.GoVersion == "" {
+		t.Fatalf("incomplete build info: %+v", b)
+	}
+	if !strings.HasPrefix(b.GoVersion, "go") {
+		t.Fatalf("go_version = %q, want go1.x", b.GoVersion)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	b := RegisterBuildInfo(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "xar_build_info{") {
+		t.Fatalf("exposition missing xar_build_info:\n%s", out)
+	}
+	for _, frag := range []string{
+		`version="` + b.Version + `"`,
+		`go_version="` + b.GoVersion + `"`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("exposition missing %s:\n%s", frag, out)
+		}
+	}
+	// Info-gauge idiom: the value is always 1.
+	if !strings.Contains(out, `"} 1`) {
+		t.Fatalf("xar_build_info value is not 1:\n%s", out)
+	}
+}
