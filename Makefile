@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-telemetry bench-tracing bench-recorder bench-audit bench-quality bench-quality-smoke bench-parallel-smoke audit-smoke bench-scale bench-scale-smoke bench-ch bench-ch-smoke
+.PHONY: all build vet test race bench-smoke bench-telemetry bench-tracing bench-recorder bench-audit bench-quality bench-quality-smoke bench-memory bench-memory-smoke bench-parallel-smoke audit-smoke bench-scale bench-scale-smoke bench-ch bench-ch-smoke
 
 all: build vet test
 
@@ -19,7 +19,7 @@ race:
 # bench-smoke: one fast pass over the headline benchmarks — enough to
 # catch perf regressions in CI without regenerating every figure.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig4aSearchXAR$$|BenchmarkFig4bCreateXAR$$|BenchmarkSearchTelemetry|BenchmarkSearchTracing|BenchmarkSearchRecorder|BenchmarkSearchJournal|BenchmarkSearchQuality' -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'BenchmarkFig4aSearchXAR$$|BenchmarkFig4bCreateXAR$$|BenchmarkSearchTelemetry|BenchmarkSearchTracing|BenchmarkSearchRecorder|BenchmarkSearchJournal|BenchmarkSearchQuality|BenchmarkSearchMemsize' -benchtime 100x .
 
 # bench-telemetry: the observability overhead comparison (off vs on)
 # backing the ≤5% search hot-path budget; see README "Observability".
@@ -60,6 +60,22 @@ bench-quality:
 # committed numbers `go test` re-checks (TestQualityBenchRecordMeetsBudget).
 bench-quality-smoke:
 	XAR_QUALITY_SMOKE=1 $(GO) test -run 'TestSearchQualityOverheadSmoke' -v .
+
+# bench-memory: the memory-accounting overhead comparison (no memsize
+# registry vs full component accounting with the background sweeper at a
+# 1 ms requested cadence, duty-cycled to ≤1% of one core) backing
+# BENCH_memory.json's ≤5% budget; see OBSERVABILITY.md "Memory".
+bench-memory:
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchMemsize' -benchtime 2s -count 3 .
+
+# bench-memory-smoke: the CI fence for the same comparison plus the
+# coverage check — interleaved off/on arms under a loose 25% bound that
+# absorbs shared-runner drift, then a loaded-engine sweep asserting the
+# tracked components explain the live heap within 20%. The strict ≤5%
+# budget is judged on the committed BENCH_memory.json numbers, which
+# `go test` re-checks (TestMemoryBenchRecordMeetsBudget).
+bench-memory-smoke:
+	XAR_MEMORY_SMOKE=1 $(GO) test -run 'TestMemorySweepOverheadSmoke' -v .
 
 # audit-smoke: a small clean replay through `xarsim -audit` must journal
 # every lifecycle event, sweep the invariant auditor on the simulated

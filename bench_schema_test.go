@@ -92,3 +92,45 @@ func TestQualityBenchRecordMeetsBudget(t *testing.T) {
 			100*(on-off)/off, off, on)
 	}
 }
+
+// TestMemoryBenchRecordMeetsBudget parses the committed
+// BENCH_memory.json and re-checks the acceptance criterion it records:
+// BenchmarkSearchMemsize with the accounting sweeper running stays
+// within the ≤5% search hot-path budget. The live-measurement
+// counterpart is the bench-memory-smoke CI fence
+// (TestMemorySweepOverheadSmoke).
+func TestMemoryBenchRecordMeetsBudget(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_memory.json")
+	if err != nil {
+		t.Fatalf("BENCH_memory.json must be committed alongside the memory-accounting layer: %v", err)
+	}
+	var doc struct {
+		Bench struct {
+			Off struct {
+				Ns float64 `json:"ns_per_op"`
+			} `json:"off"`
+			On struct {
+				Ns float64 `json:"ns_per_op"`
+			} `json:"on"`
+		} `json:"BenchmarkSearchMemsize"`
+		Coverage struct {
+			Ratio float64 `json:"tracked_coverage_ratio"`
+		} `json:"coverage"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_memory.json: %v", err)
+	}
+	off, on := doc.Bench.Off.Ns, doc.Bench.On.Ns
+	if off <= 0 || on <= 0 {
+		t.Fatalf("BENCH_memory.json: BenchmarkSearchMemsize off/on ns_per_op must both be recorded and positive (got %v/%v)", off, on)
+	}
+	if on > off*1.05 {
+		t.Errorf("recorded memory-accounting overhead is %.1f%% (off %.0f ns/op, on %.0f ns/op) — the committed record violates the ≤5%% budget it documents",
+			100*(on-off)/off, off, on)
+	}
+	// The coverage acceptance criterion: tracked components explain the
+	// live heap within 20%.
+	if r := doc.Coverage.Ratio; r < 0.80 || r > 1.20 {
+		t.Errorf("recorded tracked_coverage_ratio %.2f outside the 20%% acceptance fence", r)
+	}
+}

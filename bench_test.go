@@ -23,6 +23,7 @@ import (
 	"xar/internal/core"
 	"xar/internal/experiments"
 	"xar/internal/journal"
+	"xar/internal/memsize"
 	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/sim"
@@ -748,6 +749,129 @@ func TestSearchQualityOverheadSmoke(t *testing.T) {
 	if onNs > offNs*1.25 {
 		t.Errorf("quality accounting slows search by %.1f%% (off %.0f ns/op, on %.0f ns/op) — past the 25%% smoke fence",
 			100*(onNs-offNs)/offNs, offNs, onNs)
+	}
+}
+
+// runSearchMemsize drives the loaded search path with or without memory
+// accounting — the shared body of BenchmarkSearchMemsize and the
+// bench-memory-smoke CI fence. The "on" arm runs the background sweeper
+// at a 1 ms requested cadence (30,000× the production 30 s default); the
+// duty-cycle throttle then re-sweeps as fast as its ≤1%-of-one-core
+// budget allows, making this an upper bound on sweep interference.
+func runSearchMemsize(b *testing.B, withAccounting bool) {
+	w := world(b)
+	ecfg := core.DefaultConfig()
+	ecfg.DefaultDetourLimit = w.Scale.DetourLimit
+	ecfg.Telemetry = telemetry.NewRegistry()
+	if withAccounting {
+		ecfg.Memory = memsize.NewRegistry()
+		ecfg.MemSweepInterval = time.Millisecond
+	}
+	eng, err := core.NewEngine(w.Disc, ecfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	sys := &sim.XARSystem{Engine: eng}
+	offers, requests := w.SplitOffersRequests()
+	for _, o := range offers {
+		_, _ = sys.Create(sim.Offer{
+			Source: o.Pickup, Dest: o.Dropoff,
+			Departure: o.RequestTime, Seats: 4, DetourLimit: w.Scale.DetourLimit,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = sys.Search(benchRequest(w, requests, i), 0)
+	}
+}
+
+// BenchmarkSearchMemsize quantifies the memory-accounting overhead on
+// the loaded search hot path: no registry ("off" — a nil check at
+// construction, nothing per op), versus full component accounting with
+// the background sweeper duty-cycling as fast as its budget allows
+// ("on"). The sweep takes per-component locks one component at a time —
+// per-shard read locks on the index, ring mutexes on the journal — so
+// the hot path only ever contends briefly with one shard's walk. The
+// acceptance budget is ≤5% (BENCH_memory.json).
+func BenchmarkSearchMemsize(b *testing.B) {
+	b.Run("off", func(b *testing.B) { runSearchMemsize(b, false) })
+	b.Run("on", func(b *testing.B) { runSearchMemsize(b, true) })
+}
+
+// TestMemorySweepOverheadSmoke is the fence behind `make
+// bench-memory-smoke`: it interleaves the off and on arms of
+// BenchmarkSearchMemsize and fails when continuous sweeping slows the
+// loaded search path past a generous 25% (the real ≤5% budget is judged
+// on same-batch medians from quiet hardware and recorded in
+// BENCH_memory.json; shared CI runners drift ±15% between batches). It
+// then checks accounting coverage: on a loaded engine, the component
+// byte total must land within 20% of the live Go heap after a GC —
+// the acceptance criterion that the registry explains where the
+// process's memory actually is.
+// Gated behind XAR_MEMORY_SMOKE=1 so `go test ./...` stays fast.
+func TestMemorySweepOverheadSmoke(t *testing.T) {
+	if os.Getenv("XAR_MEMORY_SMOKE") == "" {
+		t.Skip("set XAR_MEMORY_SMOKE=1 to run the memory sweep overhead fence")
+	}
+	const rounds = 3
+	best := func(samples []float64) float64 {
+		m := math.MaxFloat64
+		for _, s := range samples {
+			if s < m {
+				m = s
+			}
+		}
+		return m
+	}
+	var offs, ons []float64
+	for i := 0; i < rounds; i++ {
+		off := testing.Benchmark(func(b *testing.B) { runSearchMemsize(b, false) })
+		on := testing.Benchmark(func(b *testing.B) { runSearchMemsize(b, true) })
+		offs = append(offs, float64(off.NsPerOp()))
+		ons = append(ons, float64(on.NsPerOp()))
+	}
+	offNs, onNs := best(offs), best(ons)
+	t.Logf("search ns/op: accounting off %.0f, on %.0f (%+.1f%%)", offNs, onNs, 100*(onNs-offNs)/offNs)
+	if onNs > offNs*1.25 {
+		t.Errorf("memory accounting slows search by %.1f%% (off %.0f ns/op, on %.0f ns/op) — past the 25%% smoke fence",
+			100*(onNs-offNs)/offNs, offNs, onNs)
+	}
+
+	// Coverage: a loaded accounting engine's tracked component total must
+	// explain the live heap within 20% once transient garbage is swept.
+	w := benchWorld
+	ecfg := core.DefaultConfig()
+	ecfg.DefaultDetourLimit = w.Scale.DetourLimit
+	ecfg.Memory = memsize.NewRegistry()
+	ecfg.Journal = journal.New(journal.Config{})
+	eng, err := core.NewEngine(w.Disc, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	sys := &sim.XARSystem{Engine: eng}
+	for _, trip := range w.Trips {
+		_, _ = sys.Create(sim.Offer{
+			Source: trip.Pickup, Dest: trip.Dropoff,
+			Departure: trip.RequestTime, Seats: 4, DetourLimit: w.Scale.DetourLimit,
+		})
+	}
+	runtime.GC()
+	rep := eng.MemSweep()
+	if rep == nil {
+		t.Fatal("MemSweep returned nil")
+	}
+	ratio := rep.Heap.TrackedCoverageRatio
+	t.Logf("coverage: %d components, tracked %.1f MB, heap alloc %.1f MB (ratio %.2f)",
+		len(rep.Components), float64(rep.TrackedTotalBytes)/(1<<20),
+		float64(rep.Heap.HeapAllocBytes)/(1<<20), ratio)
+	if len(rep.Components) < 4 {
+		t.Errorf("only %d components on the coverage engine", len(rep.Components))
+	}
+	if ratio < 0.80 || ratio > 1.20 {
+		t.Errorf("tracked components cover %.0f%% of the live heap, want within 20%% (tracked %d bytes, heap %d)",
+			100*ratio, rep.TrackedTotalBytes, rep.Heap.HeapAllocBytes)
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"xar/internal/core"
 	"xar/internal/experiments"
 	"xar/internal/journal"
+	"xar/internal/memsize"
 	"xar/internal/quality"
 	"xar/internal/sim"
 	"xar/internal/telemetry"
@@ -143,11 +144,23 @@ func main() {
 			w.Quality = quality.New(w.Telemetry)
 			w.ShadowSampleRate = *shadowSample
 		}
+		// Component accounting for the parallel engine: one on-demand
+		// sweep after the workload attributes the retained bytes (and the
+		// -prom dump then carries the xar_memsize_bytes gauges too).
+		w.Memory = memsize.NewRegistry()
 		eng, err := runParallel(w, *parallel, ops)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer eng.Close()
+		if rep := eng.MemSweep(); rep != nil {
+			parts := make([]string, 0, len(rep.Components))
+			for _, c := range rep.Components {
+				parts = append(parts, fmt.Sprintf("%s=%.1fMB", c.Name, float64(c.Bytes)/(1<<20)))
+			}
+			log.Printf("memory: %d rides, %.0f rides/GB of index; %s",
+				rep.ActiveRides, rep.RidesPerGB, strings.Join(parts, " "))
+		}
 		if *auditFlag {
 			runAudit(w, eng)
 		}
@@ -351,6 +364,7 @@ func runParallel(w *experiments.World, workers, ops int) (*core.Engine, error) {
 	if w.Quality != nil {
 		cfg.ShadowSampleRate = w.ShadowSampleRate
 	}
+	cfg.Memory = w.Memory
 	eng, err := core.NewEngine(w.Disc, cfg)
 	if err != nil {
 		return nil, err

@@ -36,6 +36,7 @@ import (
 	"xar/internal/core"
 	"xar/internal/experiments"
 	"xar/internal/load"
+	"xar/internal/memsize"
 	"xar/internal/quality"
 	"xar/internal/server"
 	"xar/internal/telemetry"
@@ -140,6 +141,11 @@ func main() {
 			world.Quality = quality.New(reg)
 			world.ShadowSampleRate = *shadowSample
 		}
+		// Component accounting: each rate step's Observe hook runs a
+		// synchronous sweep, so BENCH_scale.json records which subsystem
+		// owns the bytes, not just the process totals. No background
+		// worker — the sweep runs between steps, never during one.
+		world.Memory = memsize.NewRegistry()
 		if eng, err = world.NewXAREngine(); err != nil {
 			log.Fatal(err)
 		}
@@ -213,6 +219,16 @@ func main() {
 	if world.Quality != nil && eng != nil {
 		eng.ShadowFlush()
 		logQuality(world.Quality.Snapshot())
+	}
+	if eng != nil {
+		if rep := eng.LastMemReport(); rep != nil {
+			parts := make([]string, 0, len(rep.Components))
+			for _, c := range rep.Components {
+				parts = append(parts, fmt.Sprintf("%s=%.1fMB", c.Name, float64(c.Bytes)/(1<<20)))
+			}
+			log.Printf("memory: %d rides, %.0f rides/GB of index; %s",
+				rep.ActiveRides, rep.RidesPerGB, strings.Join(parts, " "))
+		}
 	}
 	frontier.Mode = *mode
 	frontier.World = map[string]any{

@@ -30,6 +30,8 @@
 //	-audit-interval 30s    background invariant-audit sweep cadence (0 disables)
 //	-quality               collect the match-quality funnel and gap histograms (/v1/quality)
 //	-shadow-sample 8       shadow-match 1-in-N no-match requests and bookings (0 disables; needs -quality)
+//	-mem-sweep 30s         per-component memory accounting sweep cadence (/v1/memory,
+//	                       xar_memsize_bytes{component}, xar_rides_per_gb; 0 disables)
 //
 // Build identity (xar_build_info, /v1/healthz build section) is stamped
 // at link time:
@@ -55,6 +57,7 @@ import (
 	"xar/internal/core"
 	"xar/internal/discretize"
 	"xar/internal/journal"
+	"xar/internal/memsize"
 	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/server"
@@ -90,6 +93,7 @@ func main() {
 	auditInterval := flag.Duration("audit-interval", 30*time.Second, "background invariant-audit sweep cadence (0 disables the auditor)")
 	enableQuality := flag.Bool("quality", true, "collect the match-quality funnel and approximation-gap histograms; serves /v1/quality")
 	shadowSample := flag.Int("shadow-sample", 8, "shadow-match 1-in-N no-match requests and bookings off the request path (0 disables; needs -quality)")
+	memSweep := flag.Duration("mem-sweep", core.DefaultMemSweepInterval, "per-component memory accounting sweep cadence; serves /v1/memory and the xar_memsize/xar_rides_per_gb gauges (0 disables)")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -152,6 +156,10 @@ func main() {
 		ecfg.ShadowSampleRate = *shadowSample
 	} else if *shadowSample > 0 {
 		log.Printf("the shadow matcher needs -quality; running without it")
+	}
+	if *memSweep > 0 {
+		ecfg.Memory = memsize.NewRegistry()
+		ecfg.MemSweepInterval = *memSweep
 	}
 	eng, err := core.NewEngine(disc, ecfg)
 	if err != nil {
@@ -224,6 +232,18 @@ func main() {
 		log.Printf("SLOs need the flight recorder; start with -history-interval > 0 to enable them")
 	}
 	srv := server.New(eng, core.NewSocialGraph(), opts...)
+	// server.New seeded the first accounting sweep (it registers the
+	// trace store and recorder as components first), so the startup
+	// summary reflects the complete component set.
+	if rep := eng.LastMemReport(); rep != nil {
+		parts := ""
+		for _, c := range rep.Components {
+			parts += fmt.Sprintf(" %s=%.1fMB", c.Name, float64(c.Bytes)/(1<<20))
+		}
+		log.Printf("memory accounting on (sweep every %v):%s; tracked %.1f MB, heap %.1f MB",
+			*memSweep, parts,
+			float64(rep.TrackedTotalBytes)/(1<<20), float64(rep.Heap.HeapAllocBytes)/(1<<20))
+	}
 
 	// SIGQUIT writes a one-shot diagnostic bundle instead of Go's default
 	// stack-dump-and-exit — the flight recorder's goroutine dump is in the

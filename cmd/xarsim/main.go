@@ -16,8 +16,10 @@ import (
 	"time"
 
 	"xar/internal/audit"
+	"xar/internal/core"
 	"xar/internal/experiments"
 	"xar/internal/journal"
+	"xar/internal/memsize"
 	"xar/internal/quality"
 	"xar/internal/sim"
 	"xar/internal/telemetry"
@@ -45,6 +47,7 @@ func main() {
 	auditInterval := flag.Float64("audit-interval", 300, "simulated seconds between -audit sweeps during the replay")
 	qualityFlag := flag.Bool("quality", false, "collect the XAR replay's match-quality funnel (and shadow counterfactuals at -shadow-sample) and print the summary after the run")
 	shadowSample := flag.Int("shadow-sample", 8, "with -quality, shadow-match 1-in-N no-match requests and bookings (0 disables the shadow matcher)")
+	memFlag := flag.Bool("mem", true, "account per-component memory on the XAR engine and print the breakdown + rides/GB after the replay (sweeps run on demand only, never during the replay)")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -107,6 +110,9 @@ func main() {
 			w.Quality = quality.New(nil)
 			w.ShadowSampleRate = *shadowSample
 		}
+		if *memFlag {
+			w.Memory = memsize.NewRegistry()
+		}
 		eng, err := w.NewXAREngine()
 		if err != nil {
 			log.Fatal(err)
@@ -128,6 +134,9 @@ func main() {
 		if w.Quality != nil {
 			eng.ShadowFlush()
 			printQuality(w.Quality.Snapshot())
+		}
+		if rep := eng.MemSweep(); rep != nil {
+			printMemory(rep)
 		}
 		if *traceOut != "" {
 			dumpTraces(*traceOut, w.Tracer, *traceTop)
@@ -208,6 +217,29 @@ func printQuality(s quality.Snapshot) {
 		if r.Bookings > 0 {
 			fmt.Printf("  greedy regret: %d/%d re-matched bookings beat the greedy choice (mean %.0f m, max %.0f m)\n",
 				r.WithRegret, r.Rematched, r.MeanM, r.MaxM)
+		}
+	}
+}
+
+// printMemory prints the post-replay component accounting: which
+// subsystem owns the bytes, and the rides-per-GB capacity extrapolation
+// the ROADMAP's compaction arc is judged by.
+func printMemory(rep *core.MemoryReport) {
+	fmt.Printf("\n--- memory ---\n")
+	for _, c := range rep.Components {
+		fmt.Printf("  %-16s %8.1f MB\n", c.Name, float64(c.Bytes)/(1<<20))
+	}
+	fmt.Printf("  %-16s %8.1f MB (heap in use %.1f MB, %.0f%% tracked)\n",
+		"tracked total", float64(rep.TrackedTotalBytes)/(1<<20),
+		float64(rep.Heap.HeapInUseBytes)/(1<<20), 100*rep.Heap.TrackedCoverageRatio)
+	fmt.Printf("  %d active rides, %.0f rides/GB of index\n", rep.ActiveRides, rep.RidesPerGB)
+	if len(rep.Subsystems) > 0 {
+		fmt.Printf("  top allocating subsystems since start:\n")
+		for i, s := range rep.Subsystems {
+			if i >= 5 {
+				break
+			}
+			fmt.Printf("    %-24s %8.1f MB in use\n", s.Subsystem, float64(s.InUseBytes)/(1<<20))
 		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"xar/internal/geo"
 	"xar/internal/grid"
 	"xar/internal/landmark"
+	"xar/internal/memsize"
 	"xar/internal/roadnet"
 )
 
@@ -146,6 +147,23 @@ type Discretization struct {
 
 	// Landmark spatial buckets for walkable-cluster queries.
 	lmIndex *pointBuckets
+}
+
+// MeasureMem implements memsize.Measurer. Everything except the lazy
+// gridCache is immutable after Build; the whole structure is walked
+// under the read lock that guards the cache, which also covers the
+// immutable rest for free. The road graph this structure points at is
+// reached by the walk too — register the graph first so the shared
+// accumulator attributes it separately and this component reports only
+// discretization-owned bytes (grids, landmarks, clusters, distance
+// tables, grid cache).
+func (d *Discretization) MeasureMem(a *memsize.Accumulator) {
+	if d == nil {
+		return
+	}
+	d.mu.RLock()
+	a.Add(d)
+	d.mu.RUnlock()
 }
 
 // Build runs the full pre-processing pipeline for city under cfg.

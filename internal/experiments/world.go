@@ -7,10 +7,12 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"xar/internal/core"
 	"xar/internal/discretize"
 	"xar/internal/journal"
+	"xar/internal/memsize"
 	"xar/internal/mmtp"
 	"xar/internal/quality"
 	"xar/internal/roadnet"
@@ -78,6 +80,13 @@ type World struct {
 	// ShadowSampleRate, when > 0 alongside Quality, runs the shadow
 	// counterfactual matcher at that 1-in-N sample rate.
 	ShadowSampleRate int
+	// Memory, when non-nil, turns on per-component memory accounting in
+	// the engines built over this world (cmd/xarload -mem-sweep /
+	// cmd/xarsim wire this for their memory summaries).
+	Memory *memsize.Registry
+	// MemSweepInterval starts the engine's background sweep worker on
+	// that cadence (requires Memory; 0 → on-demand sweeps only).
+	MemSweepInterval time.Duration
 }
 
 // BuildWorld generates the city, discretization (ε = Scale.Epsilon) and
@@ -138,6 +147,10 @@ func (w *World) NewXAREngine() (*core.Engine, error) {
 	cfg.Quality = w.Quality
 	if w.Quality != nil {
 		cfg.ShadowSampleRate = w.ShadowSampleRate
+	}
+	cfg.Memory = w.Memory
+	if w.Memory != nil {
+		cfg.MemSweepInterval = w.MemSweepInterval
 	}
 	return core.NewEngine(w.Disc, cfg)
 }

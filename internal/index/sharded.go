@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"xar/internal/discretize"
+	"xar/internal/memsize"
 )
 
 // DefaultShards is the shard count used when the caller passes 0. Ride
@@ -115,10 +116,28 @@ func (s *Sharded) View() View { return View{s: s} }
 // View is a read-only window over a sharded index. Every method takes
 // the shard locks it needs, so a View is safe to use concurrently with
 // engine operations — unlike handing out the live *Index, which invited
-// unsynchronized mutation. Deep-size measurement (memsize.Of) walks the
-// structure without locks and remains quiescent-only.
+// unsynchronized mutation. Live deep-size measurement goes through
+// MeasureMem (per-shard read locks); the lock-free memsize.Of remains
+// quiescent-only.
 type View struct {
 	s *Sharded
+}
+
+// MeasureMem implements memsize.Measurer: each shard's index is walked
+// under that shard's read lock, one shard at a time, so measurement is
+// safe against concurrent engine mutation and never blocks more than
+// one stripe. The discretization the index points at is deliberately
+// reached through this walk too — when the engine registers the road
+// network and discretization as earlier components, the shared
+// accumulator attributes those bytes there and the index share reduces
+// to ride state (rides, posting lists, support records).
+func (v View) MeasureMem(a *memsize.Accumulator) {
+	for i := range v.s.shards {
+		sh := &v.s.shards[i]
+		sh.RLock()
+		a.Add(sh.Ix)
+		sh.RUnlock()
+	}
 }
 
 // NumShards returns the stripe count.

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xar/internal/memsize"
 	"xar/internal/telemetry"
 )
 
@@ -223,6 +224,26 @@ func New(cfg Config) *Journal {
 		}
 	}
 	return j
+}
+
+// MeasureMem implements memsize.Measurer: the per-ride ring table, the
+// eviction order, and the tail ring of each stripe are walked under that
+// stripe's mutex — one stripe at a time, so recording on the other
+// stripes never stalls. The counters map is immutable after New and
+// needs no lock. Nil-receiver-safe like Record.
+func (j *Journal) MeasureMem(a *memsize.Accumulator) {
+	if j == nil {
+		return
+	}
+	a.Add(j.counters)
+	for i := range j.stripes {
+		st := &j.stripes[i]
+		st.mu.Lock()
+		a.Add(st.rides)
+		a.Add(st.order)
+		a.Add(st.tail.buf)
+		st.mu.Unlock()
+	}
 }
 
 // Record files one event: assigns its sequence number, stamps the wall

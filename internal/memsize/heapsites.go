@@ -1,0 +1,237 @@
+package memsize
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Allocation-site attribution: the component registry answers "who owns
+// the retained bytes"; this profiler answers "which code allocated
+// them, and which code is allocating right now". It reads the runtime's
+// sampled heap profile directly (runtime.MemProfile — the same records
+// pprof.Lookup("heap") serializes), attributes each record to the
+// innermost xar/ frame of its stack, unsamples the values the way pprof
+// does, and aggregates by site and by subsystem (package path prefix).
+// Successive Profile calls additionally report per-site allocation
+// deltas — the "hot allocation sites" view that tells the compaction
+// work where churn comes from, not just where bytes sit.
+
+// Site is one aggregated allocation site.
+type Site struct {
+	// Func is the attributed function (the innermost frame under the
+	// xar/ module; the raw leaf frame when no xar frame is present).
+	Func string `json:"func"`
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+	// Subsystem is Func's package path (e.g. "xar/internal/index").
+	Subsystem string `json:"subsystem"`
+	// InUseBytes/InUseObjects are live-heap values, unsampled.
+	InUseBytes   uint64 `json:"inuse_bytes"`
+	InUseObjects uint64 `json:"inuse_objects"`
+	// AllocBytes is cumulative since process start; AllocBytesDelta is
+	// the growth since the previous Profile call on this profiler —
+	// churn, whether or not the allocations are still live.
+	AllocBytes      uint64 `json:"alloc_bytes"`
+	AllocBytesDelta uint64 `json:"alloc_bytes_delta"`
+}
+
+// SubsystemAlloc aggregates sites by package path.
+type SubsystemAlloc struct {
+	Subsystem       string `json:"subsystem"`
+	InUseBytes      uint64 `json:"inuse_bytes"`
+	AllocBytesDelta uint64 `json:"alloc_bytes_delta"`
+}
+
+// DefaultTopKSites bounds the per-site list a Profile call returns.
+const DefaultTopKSites = 20
+
+// SiteProfiler aggregates heap-profile records into top-K allocation
+// sites with delta tracking across calls. The zero value is ready to
+// use. Safe for concurrent use (calls serialize on an internal mutex).
+type SiteProfiler struct {
+	// TopK bounds the site list (0 → DefaultTopKSites). Subsystem
+	// aggregates always cover every record, not just the top K.
+	TopK int
+
+	mu        sync.Mutex
+	prevAlloc map[string]uint64 // site func → cumulative alloc bytes
+}
+
+// Profile reads the current heap profile and returns the top-K sites
+// (by in-use bytes, allocation churn as tie-break) plus the complete
+// per-subsystem aggregation. Values are zero-length when heap profiling
+// is disabled (runtime.MemProfileRate == 0).
+func (p *SiteProfiler) Profile() ([]Site, []SubsystemAlloc) {
+	if runtime.MemProfileRate == 0 {
+		return nil, nil
+	}
+	records := readMemProfile()
+	if records == nil {
+		return nil, nil
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	sites := make(map[string]*Site)
+	for i := range records {
+		r := &records[i]
+		fr, ok := attributionFrame(r.Stack())
+		if !ok {
+			continue
+		}
+		s := sites[fr.Function]
+		if s == nil {
+			s = &Site{
+				Func:      fr.Function,
+				File:      fr.File,
+				Line:      fr.Line,
+				Subsystem: subsystemOf(fr.Function),
+			}
+			sites[fr.Function] = s
+		}
+		inB, inO := unsample(r.InUseBytes(), r.InUseObjects())
+		alB, _ := unsample(r.AllocBytes, r.AllocObjects)
+		s.InUseBytes += inB
+		s.InUseObjects += inO
+		s.AllocBytes += alB
+	}
+
+	// Deltas against the previous call; the previous map keeps every
+	// site (not just the returned top K) so deltas never re-count.
+	next := make(map[string]uint64, len(sites))
+	for fn, s := range sites {
+		next[fn] = s.AllocBytes
+		if prev, ok := p.prevAlloc[fn]; ok && s.AllocBytes >= prev {
+			s.AllocBytesDelta = s.AllocBytes - prev
+		} else if !ok {
+			s.AllocBytesDelta = s.AllocBytes
+		}
+	}
+	first := p.prevAlloc == nil
+	p.prevAlloc = next
+
+	subs := make(map[string]*SubsystemAlloc)
+	out := make([]Site, 0, len(sites))
+	for _, s := range sites {
+		sub := subs[s.Subsystem]
+		if sub == nil {
+			sub = &SubsystemAlloc{Subsystem: s.Subsystem}
+			subs[s.Subsystem] = sub
+		}
+		sub.InUseBytes += s.InUseBytes
+		if !first {
+			sub.AllocBytesDelta += s.AllocBytesDelta
+		}
+		if first {
+			// The first profile has no baseline: deltas would just echo
+			// cumulative totals, so report them as zero.
+			s.AllocBytesDelta = 0
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].InUseBytes != out[j].InUseBytes {
+			return out[i].InUseBytes > out[j].InUseBytes
+		}
+		if out[i].AllocBytesDelta != out[j].AllocBytesDelta {
+			return out[i].AllocBytesDelta > out[j].AllocBytesDelta
+		}
+		return out[i].Func < out[j].Func
+	})
+	k := p.TopK
+	if k <= 0 {
+		k = DefaultTopKSites
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+
+	subOut := make([]SubsystemAlloc, 0, len(subs))
+	for _, s := range subs {
+		subOut = append(subOut, *s)
+	}
+	sort.Slice(subOut, func(i, j int) bool {
+		if subOut[i].InUseBytes != subOut[j].InUseBytes {
+			return subOut[i].InUseBytes > subOut[j].InUseBytes
+		}
+		return subOut[i].Subsystem < subOut[j].Subsystem
+	})
+	return out, subOut
+}
+
+// readMemProfile fetches the full record set, growing the buffer until
+// the runtime reports a complete copy (the documented retry protocol).
+func readMemProfile() []runtime.MemProfileRecord {
+	n, _ := runtime.MemProfile(nil, true)
+	for {
+		records := make([]runtime.MemProfileRecord, n+64)
+		var ok bool
+		n, ok = runtime.MemProfile(records, true)
+		if ok {
+			return records[:n]
+		}
+	}
+}
+
+// attributionFrame picks the frame a record is charged to: the
+// innermost frame inside this module (skipping memsize itself, which
+// only measures), falling back to the raw leaf frame.
+func attributionFrame(stack []uintptr) (runtime.Frame, bool) {
+	if len(stack) == 0 {
+		return runtime.Frame{}, false
+	}
+	frames := runtime.CallersFrames(stack)
+	var leaf runtime.Frame
+	haveLeaf := false
+	for {
+		fr, more := frames.Next()
+		if fr.Function != "" {
+			if !haveLeaf {
+				leaf, haveLeaf = fr, true
+			}
+			if strings.HasPrefix(fr.Function, "xar/") &&
+				!strings.HasPrefix(fr.Function, "xar/internal/memsize") {
+				return fr, true
+			}
+		}
+		if !more {
+			break
+		}
+	}
+	return leaf, haveLeaf
+}
+
+// subsystemOf extracts the package path from a fully qualified function
+// name ("xar/internal/index.(*Index).Insert" → "xar/internal/index").
+func subsystemOf(fn string) string {
+	slash := strings.LastIndex(fn, "/")
+	dot := strings.Index(fn[slash+1:], ".")
+	if dot < 0 {
+		return fn
+	}
+	return fn[:slash+1+dot]
+}
+
+// unsample scales a sampled heap-profile value to an estimate of the
+// true total, the same per-record correction pprof applies: with
+// sampling rate r and mean object size s, a record's expected sampling
+// probability is 1-exp(-s/r).
+func unsample(bytes, objects int64) (uint64, uint64) {
+	if bytes <= 0 || objects <= 0 {
+		return 0, 0
+	}
+	rate := int64(runtime.MemProfileRate)
+	if rate <= 1 {
+		return uint64(bytes), uint64(objects)
+	}
+	avg := float64(bytes) / float64(objects)
+	p := 1 - math.Exp(-avg/float64(rate))
+	if p <= 0 {
+		return uint64(bytes), uint64(objects)
+	}
+	return uint64(float64(bytes) / p), uint64(float64(objects) / p)
+}

@@ -22,14 +22,96 @@ func Of(v interface{}) uint64 {
 	if v == nil {
 		return 0
 	}
-	w := &walker{seen: make(map[uintptr]struct{})}
+	w := newWalker()
 	rv := reflect.ValueOf(v)
 	// Top-level value: count its own footprint plus referents.
 	return uint64(rv.Type().Size()) + w.referents(rv)
 }
 
+// Accumulator is a reusable deep-size walker: successive Add calls share
+// one pointer-identity set, so an object reachable from two additions is
+// counted exactly once — by whichever Add reached it first. The
+// component-accounting Registry sweeps every registered Measurer through
+// a single Accumulator, which is what makes the per-component byte
+// totals non-overlapping ("first owner wins") and their sum meaningful.
+type Accumulator struct {
+	w     *walker
+	total uint64
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{w: newWalker()}
+}
+
+// Add deep-walks v and adds its not-yet-seen bytes (including v's own
+// inline footprint) to the running total.
+func (a *Accumulator) Add(v interface{}) {
+	if v == nil {
+		return
+	}
+	rv := reflect.ValueOf(v)
+	a.total += uint64(rv.Type().Size()) + a.w.referents(rv)
+}
+
+// AddBytes adds n structurally-accounted bytes (for components that
+// compute parts of their footprint arithmetically instead of by
+// reflection, e.g. lock-free structures that must not be walked live).
+func (a *Accumulator) AddBytes(n uint64) { a.total += n }
+
+// Total returns the bytes accumulated so far.
+func (a *Accumulator) Total() uint64 { return a.total }
+
 type walker struct {
 	seen map[uintptr]struct{}
+	// leafType caches, per type, whether the walker can learn nothing
+	// from a value of that type beyond its inline size (no pointers,
+	// slices, maps, strings, or interfaces anywhere inside). Large
+	// scalar backing arrays — distance tables, ETA slices, ring
+	// buffers — are then counted from the slice header alone instead
+	// of one reflect call per element.
+	leafType map[reflect.Type]bool
+}
+
+func newWalker() *walker {
+	return &walker{
+		seen:     make(map[uintptr]struct{}),
+		leafType: make(map[reflect.Type]bool),
+	}
+}
+
+// leaf reports whether values of type t have no referents the walker
+// counts: walking such a value adds nothing beyond its inline size.
+func (w *walker) leaf(t reflect.Type) bool {
+	if v, ok := w.leafType[t]; ok {
+		return v
+	}
+	// Tentatively mark true to terminate on recursive types; a struct
+	// can only recurse through a pointer, which forces false below.
+	w.leafType[t] = true
+	v := w.leafKind(t)
+	w.leafType[t] = v
+	return v
+}
+
+func (w *walker) leafKind(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Ptr, reflect.Slice, reflect.Map, reflect.String, reflect.Interface:
+		return false
+	case reflect.Chan, reflect.Func, reflect.UnsafePointer:
+		return true // opaque: the walker counts the header only
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !w.leaf(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	case reflect.Array:
+		return w.leaf(t.Elem())
+	default:
+		return true // scalar kinds
+	}
 }
 
 // mark records a heap address; it reports false if the address was
@@ -68,6 +150,9 @@ func (w *walker) referents(v reflect.Value) uint64 {
 		if w.mark(v.Pointer()) {
 			// Backing array: capacity, not length, is what is retained.
 			n += uint64(v.Cap()) * elemSize
+		}
+		if w.leaf(v.Type().Elem()) {
+			return n // scalar backing array: nothing to walk per element
 		}
 		for i := 0; i < v.Len(); i++ {
 			n += w.referents(v.Index(i))
@@ -109,6 +194,9 @@ func (w *walker) referents(v reflect.Value) uint64 {
 		return n
 
 	case reflect.Array:
+		if w.leaf(v.Type().Elem()) {
+			return 0
+		}
 		var n uint64
 		for i := 0; i < v.Len(); i++ {
 			n += w.referents(v.Index(i))

@@ -1,0 +1,143 @@
+package memsize
+
+import (
+	"sync"
+	"time"
+)
+
+// Measurer is implemented by every memory-owning component that
+// participates in live accounting. MeasureMem walks the component's
+// retained structures into the accumulator; the implementation owns its
+// synchronization — it takes whatever locks make the walk safe against
+// concurrent mutation (per-shard read locks, ring mutexes), or walks
+// nothing mutable at all for immutable structures.
+//
+// Implementations must tolerate being called on a shared Accumulator:
+// structures another component already walked in the same sweep are
+// de-duplicated by pointer identity, so a component that merely points
+// at shared data (the index at the discretization, the discretization
+// at the road graph) reports only its uniquely-owned bytes when the
+// shared owner is registered first.
+type Measurer interface {
+	MeasureMem(a *Accumulator)
+}
+
+// MeasurerFunc adapts a function to the Measurer interface.
+type MeasurerFunc func(a *Accumulator)
+
+// MeasureMem calls f.
+func (f MeasurerFunc) MeasureMem(a *Accumulator) { f(a) }
+
+// Registry is the component-accounting registry: named Measurers,
+// swept together through one shared Accumulator so shared structures
+// are attributed to exactly one component (the one registered first).
+// Safe for concurrent Register/Sweep use.
+type Registry struct {
+	mu    sync.Mutex
+	comps []component
+}
+
+type component struct {
+	name string
+	m    Measurer
+}
+
+// NewRegistry returns an empty component registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds (or, for an existing name, replaces) a component.
+// Registration order is attribution order: during a sweep, bytes
+// reachable from several components are charged to the earliest-
+// registered one. Register shared substrates (road graph, landmark
+// tables) before the structures that point at them (index).
+func (r *Registry) Register(name string, m Measurer) {
+	if m == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.comps {
+		if r.comps[i].name == name {
+			r.comps[i].m = m
+			return
+		}
+	}
+	r.comps = append(r.comps, component{name: name, m: m})
+}
+
+// RegisterFunc is Register with a bare function.
+func (r *Registry) RegisterFunc(name string, f func(*Accumulator)) {
+	r.Register(name, MeasurerFunc(f))
+}
+
+// Names returns the registered component names in attribution order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.comps))
+	for i, c := range r.comps {
+		out[i] = c.name
+	}
+	return out
+}
+
+// ComponentBytes is one component's share of a sweep.
+type ComponentBytes struct {
+	Name  string `json:"name"`
+	Bytes uint64 `json:"bytes"`
+}
+
+// Sweep is the result of one full measurement pass.
+type Sweep struct {
+	// Unix is the wall time the sweep started, seconds since epoch.
+	Unix float64 `json:"unix"`
+	// DurationSeconds is how long the component walk took.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Components holds the per-component byte shares, in attribution
+	// order. Shares are non-overlapping: shared structures count once,
+	// in the earliest-registered component that reaches them.
+	Components []ComponentBytes `json:"components"`
+	// TotalBytes is the sum of the shares — the registry's estimate of
+	// all tracked retained memory.
+	TotalBytes uint64 `json:"total_bytes"`
+}
+
+// Component returns the named component's bytes (0 if absent).
+func (s Sweep) Component(name string) uint64 {
+	for _, c := range s.Components {
+		if c.Name == name {
+			return c.Bytes
+		}
+	}
+	return 0
+}
+
+// Sweep measures every registered component through one shared
+// accumulator and returns the per-component byte shares. Component
+// Measurers take their own locks, one component at a time — the
+// registry never holds more than its own mutex, and releases that
+// before any measurement runs.
+func (r *Registry) Sweep() Sweep {
+	r.mu.Lock()
+	comps := make([]component, len(r.comps))
+	copy(comps, r.comps)
+	r.mu.Unlock()
+
+	start := time.Now()
+	sw := Sweep{
+		Unix:       float64(start.UnixNano()) / 1e9,
+		Components: make([]ComponentBytes, 0, len(comps)),
+	}
+	acc := NewAccumulator()
+	for _, c := range comps {
+		before := acc.Total()
+		c.m.MeasureMem(acc)
+		sw.Components = append(sw.Components, ComponentBytes{
+			Name:  c.name,
+			Bytes: acc.Total() - before,
+		})
+	}
+	sw.TotalBytes = acc.Total()
+	sw.DurationSeconds = time.Since(start).Seconds()
+	return sw
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"xar/internal/memsize"
 	"xar/internal/telemetry"
 )
 
@@ -137,6 +138,17 @@ type Collector struct {
 	regretSum     float64
 	regretMax     float64
 	regretChecked uint64 // tasks where the shadow re-search found any match
+}
+
+// MeasureMem implements memsize.Measurer with a bare lock-free walk:
+// every Collector pointer, slice, and map field is immutable after New
+// (the walker follows structure, not the atomically-mutated scalar
+// values), so no lock is needed. Nil-receiver-safe.
+func (c *Collector) MeasureMem(a *memsize.Accumulator) {
+	if c == nil {
+		return
+	}
+	a.Add(c)
 }
 
 // New builds a Collector registered into reg. A nil reg records into a

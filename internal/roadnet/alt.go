@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"xar/internal/geo"
+	"xar/internal/memsize"
 )
 
 // ALT implements the A*-with-Landmarks-and-Triangle-inequality speedup
@@ -26,6 +27,17 @@ type ALT struct {
 	seed []NodeID
 	fwd  [][]float64 // fwd[i][v] = d(seed_i → v)
 	bwd  [][]float64 // bwd[i][v] = d(v → seed_i)
+}
+
+// MeasureMem implements memsize.Measurer. ALT tables are immutable after
+// NewALT, so the walk takes no locks; the dominant cost, the 2·k dense
+// distance arrays, is counted from slice headers via the walker's
+// leaf-type fast path.
+func (al *ALT) MeasureMem(a *memsize.Accumulator) {
+	if al == nil {
+		return
+	}
+	a.Add(al)
 }
 
 // NewALT selects k seed nodes (farthest-point spread over the graph's

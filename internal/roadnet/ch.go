@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"xar/internal/memsize"
 )
 
 // This file implements contraction hierarchies (CH; Geisberger, Sanders,
@@ -147,6 +149,16 @@ type CH struct {
 
 	shortcuts int
 	buildTime time.Duration
+}
+
+// MeasureMem implements memsize.Measurer. A built CH is immutable, so
+// the walk takes no locks; the CSR arrays and the core distance table
+// are counted from slice headers via the leaf-type fast path.
+func (c *CH) MeasureMem(a *memsize.Accumulator) {
+	if c == nil {
+		return
+	}
+	a.Add(c)
 }
 
 // chExp is one arc's path-expansion record.

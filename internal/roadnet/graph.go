@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"xar/internal/geo"
+	"xar/internal/memsize"
 )
 
 // NodeID indexes a node (way-point) in a Graph. IDs are dense: the i-th
@@ -72,6 +73,15 @@ type Graph struct {
 	out     [][]Edge
 	in      [][]Edge // reverse adjacency, for searches toward a target
 	edgeCnt int
+}
+
+// MeasureMem implements memsize.Measurer. The graph is immutable after
+// construction, so the walk takes no locks.
+func (g *Graph) MeasureMem(a *memsize.Accumulator) {
+	if g == nil {
+		return
+	}
+	a.Add(g)
 }
 
 // AddNode inserts a node at p and returns its ID.

@@ -12,6 +12,7 @@ import (
 
 	"xar/internal/core"
 	"xar/internal/discretize"
+	"xar/internal/memsize"
 	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
@@ -44,6 +45,7 @@ func newRecorderEnv(t testing.TB) *recorderEnv {
 	cfg.Telemetry = reg
 	cfg.Tracer = tracer
 	cfg.Quality = qc
+	cfg.Memory = memsize.NewRegistry()
 	eng, err := core.NewEngine(d, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -315,9 +317,9 @@ func TestDebugBundle(t *testing.T) {
 
 	for _, want := range []string{
 		"config.json", "quality.json", "slo.json", "history.json",
-		"metrics.prom", "shards.json", "traces_slowest.json",
-		"traces_errors.json", "goroutine.pprof", "goroutines.txt",
-		"heap.pprof",
+		"memory.json", "metrics.prom", "shards.json",
+		"traces_slowest.json", "traces_errors.json", "goroutine.pprof",
+		"goroutines.txt", "heap.pprof",
 	} {
 		if len(members[want]) == 0 {
 			t.Errorf("bundle member %s missing or empty", want)
@@ -367,6 +369,13 @@ func TestDebugBundle(t *testing.T) {
 	}
 	if shards["total_rides"].(float64) != 1 {
 		t.Fatalf("shards.json total_rides = %v, want 1", shards["total_rides"])
+	}
+	var mem core.MemoryReport
+	if err := json.Unmarshal(members["memory.json"], &mem); err != nil {
+		t.Fatalf("memory.json: %v", err)
+	}
+	if len(mem.Components) == 0 || mem.TrackedTotalBytes == 0 {
+		t.Fatalf("memory.json has no component breakdown: %+v", mem)
 	}
 	// goroutines.txt is the text dump; must mention this test's server.
 	if len(members["goroutines.txt"]) < 100 {

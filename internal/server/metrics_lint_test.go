@@ -102,6 +102,11 @@ func TestMetricNameHygiene(t *testing.T) {
 		"xar_shadow_tasks_total",
 		"xar_build_info",
 		"xar_match_rate",
+		"xar_memsize_bytes",
+		"xar_memsize_total_bytes",
+		"xar_rides_per_gb",
+		"xar_memsize_sweeps_total",
+		"xar_memsize_sweep_duration_seconds",
 		"go_goroutines",
 		"go_gc_pauses_seconds",
 	} {

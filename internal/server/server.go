@@ -22,6 +22,8 @@
 //	GET    /v1/traces           recent traces (filter: op, min_ms, status)
 //	GET    /v1/traces/{id}      one trace as a span tree
 //	GET    /v1/quality          match-quality funnel, slack, shadow stats
+//	GET    /v1/memory           per-component memory breakdown, rides/GB,
+//	                            heap stats, top allocation sites
 //	GET    /v1/healthz          liveness + uptime + engine counters
 //
 // Every route is wrapped in telemetry middleware: per-route request and
@@ -111,6 +113,20 @@ func New(eng *core.Engine, social *core.SocialGraph, opts ...Option) *Server {
 	// Every exposition carries the build identity (info-gauge idiom);
 	// healthz reports the same resolved values.
 	s.build = telemetry.RegisterBuildInfo(s.reg)
+	if mr := eng.MemComponents(); mr != nil {
+		// The server owns two more memory-holding components; register
+		// them after the engine's (attribution order favors earlier
+		// components, and nothing here shares structure with them), then
+		// sweep once so /v1/memory and the xar_memsize gauges are live
+		// before the background worker's first tick.
+		if s.tracer != nil {
+			mr.Register("traces", s.tracer.Store())
+		}
+		if s.recorder != nil {
+			mr.Register("recorder", s.recorder)
+		}
+		eng.MemSweep()
+	}
 
 	handle := func(pattern, route string, h http.HandlerFunc) {
 		s.mux.Handle(pattern, s.instrument(route, h))
@@ -134,6 +150,7 @@ func New(eng *core.Engine, social *core.SocialGraph, opts ...Option) *Server {
 	handle("GET /v1/metrics/history", "/v1/metrics/history", s.handleMetricsHistory)
 	handle("GET /v1/slo", "/v1/slo", s.handleSLO)
 	handle("GET /v1/quality", "/v1/quality", s.handleQuality)
+	handle("GET /v1/memory", "/v1/memory", s.handleMemory)
 	handle("GET /v1/debug/bundle", "/v1/debug/bundle", s.handleDebugBundle)
 	handle("GET /v1/healthz", "/v1/healthz", s.handleHealth)
 	return s

@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"xar/internal/memsize"
 )
 
 // The flight recorder: a fixed-memory, in-process time-series store that
@@ -92,6 +94,21 @@ type Recorder struct {
 }
 
 type seriesKey struct{ name, sig string }
+
+// MeasureMem implements memsize.Measurer: the time ring, the series
+// table, and every series' value rings are walked under the recorder's
+// read lock, so measurement is safe against a concurrent tick (ticks
+// take the write lock). Nil-receiver-safe.
+func (r *Recorder) MeasureMem(a *memsize.Accumulator) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	a.Add(r.times)
+	a.Add(r.series)
+	a.Add(r.order)
+	r.mu.RUnlock()
+}
 
 // NewRecorder builds a recorder over reg. It takes no snapshot until
 // Start or TickAt is called.

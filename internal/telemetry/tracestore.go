@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"xar/internal/memsize"
 )
 
 // Trace-store sizing defaults.
@@ -95,6 +97,24 @@ func (s *TraceStore) Get(id TraceID) (*TraceData, bool) {
 		return td, true
 	}
 	return nil, false
+}
+
+// MeasureMem implements memsize.Measurer: every ring's buffer — and the
+// sealed, immutable traces it retains — is walked under that ring's
+// mutex, one ring at a time, so concurrent Adds only ever wait on the
+// single ring being measured.
+func (s *TraceStore) MeasureMem(a *memsize.Accumulator) {
+	for i := range s.stripes {
+		s.stripes[i].measureMem(a)
+	}
+	s.slow.measureMem(a)
+	s.errs.measureMem(a)
+}
+
+func (r *traceRing) measureMem(a *memsize.Accumulator) {
+	r.mu.Lock()
+	a.Add(r.buf)
+	r.mu.Unlock()
 }
 
 // TraceFilter selects traces for List.
