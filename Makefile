@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-telemetry bench-tracing bench-recorder bench-audit bench-quality bench-quality-smoke bench-memory bench-memory-smoke bench-parallel-smoke audit-smoke bench-scale bench-scale-smoke bench-ch bench-ch-smoke
+.PHONY: all build vet test race bench-smoke bench-telemetry bench-tracing bench-recorder bench-audit bench-quality bench-quality-smoke bench-memory bench-memory-smoke bench-profile bench-profile-smoke bench-parallel-smoke audit-smoke bench-scale bench-scale-smoke bench-ch bench-ch-smoke bench-trend
 
 all: build vet test
 
@@ -76,6 +76,31 @@ bench-memory:
 # `go test` re-checks (TestMemoryBenchRecordMeetsBudget).
 bench-memory-smoke:
 	XAR_MEMORY_SMOKE=1 $(GO) test -run 'TestMemorySweepOverheadSmoke' -v .
+
+# bench-profile: the continuous-profiling overhead comparison (no
+# profiler vs the capture worker at a 1 ms requested cadence, throttled
+# by its ≤1%-of-core fold and ≤10%-of-wall CPU-window duty floors)
+# backing BENCH_profile.json's ≤5% budget; see OBSERVABILITY.md
+# "Continuous profiling".
+bench-profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkSearchProfiling|BenchmarkSearchTelemetry/off' -benchmem -benchtime 2s -count 3 .
+
+# bench-profile-smoke: the CI fence for the same comparison — interleaved
+# off/on arms under a loose 25% bound that absorbs shared-runner drift,
+# then a liveness check that the profiler actually captured every delta
+# kind during the run and self-reported a sane overhead gauge. The strict
+# ≤5% budget is judged on the committed BENCH_profile.json numbers, which
+# `go test` re-checks (TestProfileBenchRecordMeetsBudget).
+bench-profile-smoke:
+	XAR_PROFILE_SMOKE=1 $(GO) test -run 'TestSearchProfilingOverheadSmoke' -v .
+
+# bench-trend: the performance-regression sentinel — fold every committed
+# BENCH_*.json into the longitudinal trajectory (BENCH_trajectory.json),
+# run a fresh search micro-benchmark on this machine, and gate on every
+# banded series (committed history and the fresh point alike). See
+# OBSERVABILITY.md "Performance trend".
+bench-trend:
+	$(GO) run ./cmd/xarperf -gate -smoke -out BENCH_trajectory.json
 
 # audit-smoke: a small clean replay through `xarsim -audit` must journal
 # every lifecycle event, sweep the invariant auditor on the simulated

@@ -134,3 +134,85 @@ func TestMemoryBenchRecordMeetsBudget(t *testing.T) {
 		t.Errorf("recorded tracked_coverage_ratio %.2f outside the 20%% acceptance fence", r)
 	}
 }
+
+// TestProfileBenchRecordMeetsBudget parses the committed
+// BENCH_profile.json and re-checks the acceptance criterion it records:
+// BenchmarkSearchProfiling with the continuous profiler duty-cycling at
+// its floors stays within the ≤5% search hot-path budget. The
+// live-measurement counterpart is the bench-profile-smoke CI fence
+// (TestSearchProfilingOverheadSmoke).
+func TestProfileBenchRecordMeetsBudget(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_profile.json")
+	if err != nil {
+		t.Fatalf("BENCH_profile.json must be committed alongside the continuous-profiling layer: %v", err)
+	}
+	var doc struct {
+		Bench struct {
+			Off struct {
+				Ns float64 `json:"ns_per_op"`
+			} `json:"off"`
+			On struct {
+				Ns float64 `json:"ns_per_op"`
+			} `json:"on"`
+		} `json:"BenchmarkSearchProfiling"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_profile.json: %v", err)
+	}
+	off, on := doc.Bench.Off.Ns, doc.Bench.On.Ns
+	if off <= 0 || on <= 0 {
+		t.Fatalf("BENCH_profile.json: BenchmarkSearchProfiling off/on ns_per_op must both be recorded and positive (got %v/%v)", off, on)
+	}
+	if on > off*1.05 {
+		t.Errorf("recorded continuous-profiling overhead is %.1f%% (off %.0f ns/op, on %.0f ns/op) — the committed record violates the ≤5%% budget it documents",
+			100*(on-off)/off, off, on)
+	}
+}
+
+// TestTrajectoryArtifactSchema keeps the committed longitudinal
+// trajectory (BENCH_trajectory.json, emitted by `make bench-trend` /
+// cmd/xarperf) machine-readable: right schema tag, non-empty benchmark
+// map, and every series carrying a direction and at least one point.
+// The numbers themselves are judged by the perftrend gate, not here.
+func TestTrajectoryArtifactSchema(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_trajectory.json")
+	if err != nil {
+		t.Fatalf("BENCH_trajectory.json must be committed alongside the perf-trend sentinel (regenerate with `make bench-trend`): %v", err)
+	}
+	var doc struct {
+		Schema     string `json:"schema"`
+		Benchmarks map[string]map[string]struct {
+			Direction string `json:"direction"`
+			Min       *float64
+			Max       *float64
+			Points    []struct {
+				Source string  `json:"source"`
+				Value  float64 `json:"value"`
+			} `json:"points"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_trajectory.json: %v", err)
+	}
+	if doc.Schema != "xar-bench-trend/v1" {
+		t.Fatalf("schema = %q, want xar-bench-trend/v1", doc.Schema)
+	}
+	if len(doc.Benchmarks) == 0 {
+		t.Fatal("trajectory records no benchmarks")
+	}
+	for bench, byMetric := range doc.Benchmarks {
+		for metric, s := range byMetric {
+			if s.Direction == "" {
+				t.Errorf("%s %s: missing direction", bench, metric)
+			}
+			if len(s.Points) == 0 {
+				t.Errorf("%s %s: series has no points", bench, metric)
+			}
+			for _, p := range s.Points {
+				if p.Source == "" {
+					t.Errorf("%s %s: point without a source artifact", bench, metric)
+				}
+			}
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"xar/internal/experiments"
 	"xar/internal/journal"
 	"xar/internal/memsize"
+	"xar/internal/profile"
 	"xar/internal/quality"
 	"xar/internal/sim"
 	"xar/internal/telemetry"
@@ -70,6 +71,7 @@ func main() {
 	chReps := flag.Int("ch-reps", 8, "timing repetitions over the pair set for -ch-bench")
 	chOut := flag.String("ch-out", "", "write the -ch-bench JSON report to this file")
 	chMinSpeedup := flag.Float64("ch-min-speedup", 0, "exit non-zero unless CH/ALT speedup at the largest -ch-bench size reaches this (0 disables the gate)")
+	profileFlag := flag.Bool("profile", true, "profile the run (allocation and contention deltas bracketing the workload) and print the top-5 symbols per kind after it")
 	flag.Parse()
 
 	if *chBench {
@@ -127,6 +129,31 @@ func main() {
 		time.Since(start).Round(time.Millisecond),
 		w.City.Graph.NumNodes(), len(w.Disc.Landmarks), w.Disc.NumClusters(), w.Disc.Epsilon())
 
+	printProfile := func() {}
+	if *profileFlag {
+		// Bracket the workload with captures: the cumulative kinds
+		// (heap_alloc, mutex, block) delta between them, so the summary
+		// attributes the replays alone — world building lands in the
+		// discarded baseline. The CPU window is disabled; a post-run
+		// window would sample idle.
+		prof := profile.New(profile.Config{CPUWindow: -1, Logf: log.Printf})
+		prof.CaptureNow()
+		printProfile = func() {
+			c := prof.CaptureNow()
+			if c == nil {
+				return
+			}
+			lines := profile.SummaryLines(c, 5)
+			if len(lines) == 0 {
+				return
+			}
+			fmt.Printf("\n--- profile (run delta) ---\n")
+			for _, l := range lines {
+				fmt.Printf("  %s\n", l)
+			}
+		}
+	}
+
 	if *parallel > 0 {
 		ops := *parallelOps
 		if ops <= 0 {
@@ -161,6 +188,7 @@ func main() {
 			log.Printf("memory: %d rides, %.0f rides/GB of index; %s",
 				rep.ActiveRides, rep.RidesPerGB, strings.Join(parts, " "))
 		}
+		printProfile()
 		if *auditFlag {
 			runAudit(w, eng)
 		}
@@ -200,6 +228,7 @@ func main() {
 			log.Fatalf("fig %s: %v", f, err)
 		}
 	}
+	printProfile()
 	if w.Quality != nil {
 		printQuality(w.Quality.Snapshot())
 	}

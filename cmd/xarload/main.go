@@ -15,8 +15,9 @@
 // delay it caused instead of quietly pausing the generator (see
 // internal/load's package comment on coordinated omission). Each rate
 // step records client-side quantiles, the server's own histogram view
-// over the same window (cross-check), and heap/RSS plus
-// memsize-derived rides-per-GB.
+// over the same window (cross-check), heap/RSS plus memsize-derived
+// rides-per-GB, and the step's hottest allocation/contention symbols
+// from the continuous profiler (-profile=false disables).
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 	"xar/internal/experiments"
 	"xar/internal/load"
 	"xar/internal/memsize"
+	"xar/internal/profile"
 	"xar/internal/quality"
 	"xar/internal/server"
 	"xar/internal/telemetry"
@@ -67,6 +69,7 @@ func main() {
 
 		qualityF     = flag.Bool("quality", false, "collect the match-quality funnel during the sweep (engine/server modes) and log the summary after it")
 		shadowSample = flag.Int("shadow-sample", 8, "with -quality, shadow-match 1-in-N no-match requests and bookings (0 disables the shadow matcher)")
+		profileF     = flag.Bool("profile", true, "attribute each step's allocations/contention to their hottest symbols in BENCH_scale.json and log a post-run top-5 (engine/server modes)")
 
 		gateP99   = flag.Float64("gate-p99-ms", 0, "fail (exit 1) if the lowest-rate step's client p99 exceeds this many ms (0 = no gate)")
 		gateMatch = flag.Float64("gate-match-rate", 0, "fail if any step's match rate drops below this (0 = no gate)")
@@ -131,6 +134,7 @@ func main() {
 		baseURL string
 		httpCl  = (*load.HTTPTarget)(nil)
 		rec     *telemetry.Recorder
+		prof    *profile.Profiler
 	)
 	switch *mode {
 	case "engine", "server":
@@ -146,6 +150,18 @@ func main() {
 		// owns the bytes, not just the process totals. No background
 		// worker — the sweep runs between steps, never during one.
 		world.Memory = memsize.NewRegistry()
+		if *profileF {
+			// Capture-on-demand profiler: one capture per rate step (in
+			// the Observe hook, between steps) attributes the step's
+			// allocations and contention. The CPU window is disabled —
+			// between steps the process is idle, so a window there would
+			// sample nothing of interest.
+			prof = profile.New(profile.Config{
+				Registry:  reg,
+				CPUWindow: -1,
+				Logf:      log.Printf,
+			})
+		}
 		if eng, err = world.NewXAREngine(); err != nil {
 			log.Fatal(err)
 		}
@@ -191,10 +207,17 @@ func main() {
 	if rec != nil {
 		rec.TickNow()
 	}
+	if prof != nil {
+		// Baseline capture: the cumulative kinds (heap_alloc, mutex,
+		// block) delta against this, so the first step's attribution
+		// excludes world building and offer seeding.
+		prof.CaptureNow()
+	}
 	cfg.Observe = func(step *load.Step, rep *load.Report) {
 		if rec != nil {
 			rec.TickNow()
 		}
+		step.Profile = load.MeasureProfile(prof)
 		if httpCl != nil {
 			// Window just under the step's wall time: the history delta
 			// anchors on the tick taken at the previous step's end, so the
@@ -228,6 +251,14 @@ func main() {
 			}
 			log.Printf("memory: %d rides, %.0f rides/GB of index; %s",
 				rep.ActiveRides, rep.RidesPerGB, strings.Join(parts, " "))
+		}
+	}
+	if prof != nil {
+		if c, ok := prof.Newest(); ok {
+			log.Printf("profile of the last step (capture %d):", c.ID)
+			for _, line := range profile.SummaryLines(&c, 5) {
+				log.Printf("  %s", line)
+			}
 		}
 	}
 	frontier.Mode = *mode

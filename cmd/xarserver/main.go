@@ -32,6 +32,8 @@
 //	-shadow-sample 8       shadow-match 1-in-N no-match requests and bookings (0 disables; needs -quality)
 //	-mem-sweep 30s         per-component memory accounting sweep cadence (/v1/memory,
 //	                       xar_memsize_bytes{component}, xar_rides_per_gb; 0 disables)
+//	-profile-interval 60s  continuous-profiling capture cadence (/v1/profiles,
+//	                       /v1/profiles/diff, xar_profile_* metrics; 0 disables)
 //
 // Build identity (xar_build_info, /v1/healthz build section) is stamped
 // at link time:
@@ -58,6 +60,7 @@ import (
 	"xar/internal/discretize"
 	"xar/internal/journal"
 	"xar/internal/memsize"
+	"xar/internal/profile"
 	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/server"
@@ -94,6 +97,7 @@ func main() {
 	enableQuality := flag.Bool("quality", true, "collect the match-quality funnel and approximation-gap histograms; serves /v1/quality")
 	shadowSample := flag.Int("shadow-sample", 8, "shadow-match 1-in-N no-match requests and bookings off the request path (0 disables; needs -quality)")
 	memSweep := flag.Duration("mem-sweep", core.DefaultMemSweepInterval, "per-component memory accounting sweep cadence; serves /v1/memory and the xar_memsize/xar_rides_per_gb gauges (0 disables)")
+	profileInterval := flag.Duration("profile-interval", profile.DefaultInterval, "continuous-profiling capture cadence; serves /v1/profiles and the xar_profile_* metrics (0 disables)")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -161,6 +165,13 @@ func main() {
 		ecfg.Memory = memsize.NewRegistry()
 		ecfg.MemSweepInterval = *memSweep
 	}
+	if *profileInterval > 0 {
+		ecfg.Profiling = profile.New(profile.Config{
+			Registry: reg,
+			Logf:     log.Printf,
+		})
+		ecfg.ProfileInterval = *profileInterval
+	}
 	eng, err := core.NewEngine(disc, ecfg)
 	if err != nil {
 		log.Fatal(err)
@@ -220,12 +231,18 @@ func main() {
 				server.DefaultSLOs(time.Duration(*sloSearchP95*float64(time.Millisecond)))...)
 			opts = append(opts, server.WithSLO(slo))
 			if *profileOnPage != "" {
-				prof := telemetry.NewCPUProfiler(telemetry.CPUProfilerConfig{
+				prof := profile.NewCPUProfiler(profile.CPUProfilerConfig{
 					Dir:  *profileOnPage,
 					Logf: log.Printf,
 				})
 				prof.AttachTo(slo)
 				opts = append(opts, server.WithCPUProfiler(prof))
+			}
+			// A page also pins the continuous profiler's capture
+			// bracket, so the flat tables around the incident
+			// survive ring eviction.
+			if p := eng.Profiler(); p != nil {
+				p.AttachTo(slo)
 			}
 		}
 	} else if *enableSLO {

@@ -20,6 +20,7 @@ import (
 	"xar/internal/experiments"
 	"xar/internal/journal"
 	"xar/internal/memsize"
+	"xar/internal/profile"
 	"xar/internal/quality"
 	"xar/internal/sim"
 	"xar/internal/telemetry"
@@ -48,6 +49,7 @@ func main() {
 	qualityFlag := flag.Bool("quality", false, "collect the XAR replay's match-quality funnel (and shadow counterfactuals at -shadow-sample) and print the summary after the run")
 	shadowSample := flag.Int("shadow-sample", 8, "with -quality, shadow-match 1-in-N no-match requests and bookings (0 disables the shadow matcher)")
 	memFlag := flag.Bool("mem", true, "account per-component memory on the XAR engine and print the breakdown + rides/GB after the replay (sweeps run on demand only, never during the replay)")
+	profileFlag := flag.Bool("profile", true, "profile the XAR replay (allocation and contention deltas bracketing the run) and print the top-5 symbols per kind after it")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -130,7 +132,22 @@ func main() {
 			xcfg.Auditor = auditor
 			xcfg.AuditInterval = *auditInterval
 		}
+		var prof *profile.Profiler
+		if *profileFlag {
+			// Bracket the replay with captures: the cumulative kinds
+			// (heap_alloc, mutex, block) delta between them, so the
+			// summary attributes the replay alone — world building and
+			// engine construction land in the discarded baseline. The CPU
+			// window is disabled; a post-run window would sample idle.
+			prof = profile.New(profile.Config{CPUWindow: -1, Logf: log.Printf})
+			prof.CaptureNow()
+		}
 		report(w, &sim.XARSystem{Engine: eng}, xcfg)
+		if prof != nil {
+			if c := prof.CaptureNow(); c != nil {
+				printProfile(c)
+			}
+		}
 		if w.Quality != nil {
 			eng.ShadowFlush()
 			printQuality(w.Quality.Snapshot())
@@ -241,6 +258,21 @@ func printMemory(rep *core.MemoryReport) {
 			}
 			fmt.Printf("    %-24s %8.1f MB in use\n", s.Subsystem, float64(s.InUseBytes)/(1<<20))
 		}
+	}
+}
+
+// printProfile prints the replay's profile deltas: for each kind that
+// saw samples between the bracketing captures, the top-5 symbols and
+// their share — where the replay's allocations went and which locks it
+// contended.
+func printProfile(c *profile.Capture) {
+	lines := profile.SummaryLines(c, 5)
+	if len(lines) == 0 {
+		return
+	}
+	fmt.Printf("\n--- profile (replay delta) ---\n")
+	for _, l := range lines {
+		fmt.Printf("  %s\n", l)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"xar/internal/index"
 	"xar/internal/journal"
 	"xar/internal/memsize"
+	"xar/internal/profile"
 	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
@@ -192,6 +193,18 @@ type Config struct {
 	// ≤5%-of-one-core budget no matter how large the fleet grows. 0
 	// leaves sweeping on-demand only (MemSweep / the HTTP handler).
 	MemSweepInterval time.Duration
+
+	// Profiling attaches a continuous profiler. The engine owns its
+	// lifecycle: with ProfileInterval > 0 the capture worker starts in
+	// NewEngine and stops in Close; with 0 the profiler stays
+	// capture-on-demand (CaptureNow / the HTTP handlers). With Memory
+	// also set, the profiler's rings are registered as the "profiles"
+	// memory component. See OBSERVABILITY.md "Continuous profiling".
+	Profiling *profile.Profiler
+	// ProfileInterval is the capture cadence (requires Profiling). The
+	// worker duty-cycles its active work the same way the memory
+	// sweeper does, staying within ≤1% of one core.
+	ProfileInterval time.Duration
 }
 
 // DefaultConfig returns production defaults.
@@ -320,12 +333,13 @@ type Engine struct {
 	// algo label. Nil without telemetry.
 	routeQueries *telemetry.Counter
 
-	m       metrics
-	tel     *engineTelemetry   // nil → uninstrumented
-	jr      *journal.Journal   // nil → no event journaling
-	quality *quality.Collector // nil → no funnel/approximation accounting
-	shadow  *shadowMatcher     // nil → no counterfactual re-matching
-	mem     *memoryMonitor     // nil → no memory accounting
+	m        metrics
+	tel      *engineTelemetry   // nil → uninstrumented
+	jr       *journal.Journal   // nil → no event journaling
+	quality  *quality.Collector // nil → no funnel/approximation accounting
+	shadow   *shadowMatcher     // nil → no counterfactual re-matching
+	mem      *memoryMonitor     // nil → no memory accounting
+	profiler *profile.Profiler  // nil → no continuous profiling
 }
 
 // Router values for Config.Router, and the strings Engine.Router()
@@ -361,6 +375,12 @@ func NewEngine(disc *discretize.Discretization, cfg Config) (*Engine, error) {
 	}
 	if cfg.ShadowSampleRate > 0 && cfg.Quality == nil {
 		return nil, fmt.Errorf("xar: ShadowSampleRate requires Config.Quality")
+	}
+	if cfg.ProfileInterval < 0 {
+		return nil, fmt.Errorf("xar: negative ProfileInterval")
+	}
+	if cfg.ProfileInterval > 0 && cfg.Profiling == nil {
+		return nil, fmt.Errorf("xar: ProfileInterval requires Config.Profiling")
 	}
 	if cfg.Index.AvgSpeed == 0 {
 		cfg.Index = index.DefaultConfig()
@@ -476,6 +496,15 @@ func NewEngine(disc *discretize.Discretization, cfg Config) (*Engine, error) {
 			e.mem.start()
 		}
 	}
+	if cfg.Profiling != nil {
+		e.profiler = cfg.Profiling
+		if cfg.Memory != nil {
+			cfg.Memory.Register("profiles", cfg.Profiling)
+		}
+		if cfg.ProfileInterval > 0 {
+			e.profiler.Start(cfg.ProfileInterval)
+		}
+	}
 	return e, nil
 }
 
@@ -527,6 +556,16 @@ func (e *Engine) Close() {
 	if e.mem != nil {
 		e.mem.close()
 	}
+	if e.profiler != nil {
+		e.profiler.Close()
+	}
+}
+
+// Profiler returns the engine's continuous profiler (nil when
+// Config.Profiling was not set). The server serves its rings at
+// /v1/profiles.
+func (e *Engine) Profiler() *profile.Profiler {
+	return e.profiler
 }
 
 // tracedShortestPath runs one pooled shortest-path search under a
@@ -712,6 +751,8 @@ func (e *Engine) ConfigSummary() map[string]any {
 		"shadow_sample_rate":     e.cfg.ShadowSampleRate,
 		"memory_accounting":      e.mem != nil,
 		"mem_sweep_interval_s":   e.cfg.MemSweepInterval.Seconds(),
+		"profiling":              e.profiler != nil,
+		"profile_interval_s":     e.cfg.ProfileInterval.Seconds(),
 		"epsilon_m":              e.disc.Epsilon(),
 		"num_clusters":           e.disc.NumClusters(),
 		"num_landmarks":          len(e.disc.Landmarks),

@@ -11,6 +11,7 @@ import (
 
 	"xar/internal/core"
 	"xar/internal/memsize"
+	"xar/internal/profile"
 	"xar/internal/workload"
 )
 
@@ -58,6 +59,9 @@ type Step struct {
 	// Memory captures heap/RSS and the memsize-derived index footprint
 	// at the end of the step.
 	Memory *MemoryStats `json:"memory,omitempty"`
+	// Profile attributes the step's allocations and contention to their
+	// hottest symbols (absent when the harness runs without a profiler).
+	Profile *ProfileStats `json:"profile,omitempty"`
 }
 
 // Frontier is the sweep result — the BENCH_scale.json document.
@@ -253,6 +257,42 @@ func MeasureEngine(eng *core.Engine) *MemoryStats {
 	st.IndexBytes = memsize.Of(eng.Index())
 	if st.IndexBytes > 0 && st.ActiveRides > 0 {
 		st.RidesPerGB = float64(st.ActiveRides) / (float64(st.IndexBytes) / (1 << 30))
+	}
+	return st
+}
+
+// ProfileStats is the per-step profile attribution recorded into
+// BENCH_scale.json: for each profile kind that saw samples during the
+// step, the hottest symbol and its share of the kind's total. The
+// cumulative kinds (heap_alloc, mutex, block) are deltas against the
+// previous capture, so with one capture per step each entry covers
+// exactly that step.
+type ProfileStats struct {
+	CaptureID uint64               `json:"capture_id"`
+	Top       map[string]TopSymbol `json:"top"`
+}
+
+// TopSymbol is one kind's hottest function in a step.
+type TopSymbol struct {
+	Func  string  `json:"func"`
+	Share float64 `json:"share"` // fraction of the kind's total
+}
+
+// MeasureProfile takes a fresh capture and reduces it to the per-kind
+// top-symbol attribution. Nil profiler → nil (the field is omitted).
+func MeasureProfile(p *profile.Profiler) *ProfileStats {
+	if p == nil {
+		return nil
+	}
+	c := p.CaptureNow()
+	if c == nil {
+		return nil
+	}
+	st := &ProfileStats{CaptureID: c.ID, Top: map[string]TopSymbol{}}
+	for _, kind := range profile.Kinds {
+		if fn, share := profile.TopSymbol(c, kind); fn != "" {
+			st.Top[kind] = TopSymbol{Func: fn, Share: share}
+		}
 	}
 	return st
 }

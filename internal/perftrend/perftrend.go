@@ -1,0 +1,439 @@
+// Package perftrend is the performance-regression sentinel: it ingests
+// every committed BENCH_*.json artifact into one longitudinal
+// trajectory (BENCH_trajectory.json, schema xar-bench-trend/v1) of
+// per-benchmark series keyed by metric, each with an explicit noise
+// band, and gates CI on every observation of every banded series.
+//
+// The committed BENCH files are point-in-time artifacts — each
+// observability PR froze its overhead measurement into one. The bands
+// here restate those files' prose budgets ("within 5%", "10x CH
+// speedup", "0 mismatches") as machine-checked ranges, sized for the
+// shared-VM noise the files document (±15% drift in absolute ns/op
+// between batches, which is why the absolute-time bands are loose and
+// the on/off ratio bands — measured same-batch — are tight).
+//
+// A BENCH file whose shape no longer matches an extractor degrades to
+// a warning, not a gate failure: the schema tests in bench_schema_test
+// own shape compatibility, the sentinel owns the values. Unknown
+// BENCH_*.json files likewise warn so a new PR's artifact is noticed
+// but never blocks the author before they add an extractor.
+package perftrend
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Schema tags BENCH_trajectory.json so downstream tooling can detect
+// incompatible rewrites.
+const Schema = "xar-bench-trend/v1"
+
+// Directions a metric can be judged in.
+const (
+	// LowerBetter metrics (latency, overhead ratios) gate on Max.
+	LowerBetter = "lower_better"
+	// HigherBetter metrics (speedups, capacity) gate on Min.
+	HigherBetter = "higher_better"
+	// Exact metrics (correctness counts) gate on Min == Max.
+	Exact = "exact"
+)
+
+// Point is one observation of a metric: a committed BENCH artifact's
+// value, or a fresh smoke-run measurement appended at gate time.
+type Point struct {
+	// Source is the BENCH file the value came from, or "smoke".
+	Source string `json:"source"`
+	// Date is the artifact's recorded date (empty for tool-emitted
+	// files that carry none).
+	Date  string  `json:"date,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// Series is one tracked metric's trajectory and its acceptance band.
+// Every point is judged against the band; nil band edges are unbounded
+// on that side.
+type Series struct {
+	Unit      string   `json:"unit"`
+	Direction string   `json:"direction"`
+	Min       *float64 `json:"min,omitempty"`
+	Max       *float64 `json:"max,omitempty"`
+	Points    []Point  `json:"points"`
+}
+
+// Trajectory is the BENCH_trajectory.json document.
+type Trajectory struct {
+	Schema string `json:"schema"`
+	// Benchmarks maps benchmark name → metric name → series.
+	Benchmarks map[string]map[string]*Series `json:"benchmarks"`
+	// Warnings records what the collection could not use: unknown
+	// BENCH files (no bands declared for them) and extractors whose
+	// path vanished from a known file. Warnings never gate.
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+// extractor declares one tracked metric: where its value lives in
+// which BENCH file, and the band its observations must stay in.
+// Several extractors may feed the same (bench, metric) series from
+// different files — that is what makes the series longitudinal.
+type extractor struct {
+	file   string
+	bench  string
+	metric string
+	unit   string
+	dir    string
+	min    *float64
+	max    *float64
+	get    func(doc any) (float64, bool)
+}
+
+func lim(v float64) *float64 { return &v }
+
+// path returns a getter that walks nested JSON objects by key.
+func path(keys ...string) func(any) (float64, bool) {
+	return func(doc any) (float64, bool) { return num(doc, keys...) }
+}
+
+func num(doc any, keys ...string) (float64, bool) {
+	cur := doc
+	for _, k := range keys {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return 0, false
+		}
+		if cur, ok = m[k]; !ok {
+			return 0, false
+		}
+	}
+	f, ok := cur.(float64)
+	return f, ok
+}
+
+// ratio returns a getter for num(a...)/num(b...) — the same-batch
+// on/off overhead ratios the BENCH files judge their budgets on.
+func ratio(a, b []string) func(any) (float64, bool) {
+	return func(doc any) (float64, bool) {
+		x, ok1 := num(doc, a...)
+		y, ok2 := num(doc, b...)
+		if !ok1 || !ok2 || y == 0 {
+			return 0, false
+		}
+		return x / y, true
+	}
+}
+
+// steps returns the BENCH_scale.json steps array.
+func steps(doc any) []any {
+	m, ok := doc.(map[string]any)
+	if !ok {
+		return nil
+	}
+	s, _ := m["steps"].([]any)
+	return s
+}
+
+// extractors is the sentinel's whole knowledge of the committed BENCH
+// corpus, in chronological file order so multi-file series read as a
+// time line. Band rationale sits next to each band.
+var extractors = []extractor{
+	// --- BENCH_tracing.json (tracing PR) ---------------------------
+	// The headline "search ns/op" series: the instrumented-but-idle
+	// search hot path, re-measured by every later PR as its
+	// regression check. Absolute time on the shared VM drifts ±15%
+	// between batches (the committed points span 2444–3701), so the
+	// band is a loose absolute roof, not a tight delta.
+	{file: "BENCH_tracing.json", bench: "BenchmarkSearchTelemetry", metric: "off_ns_per_op",
+		unit: "ns/op", dir: LowerBetter, max: lim(8000),
+		get: path("baseline", "BenchmarkSearchTelemetry/off_ns_per_op")},
+	// Production tracing default (head64) must stay within 10% of
+	// tracing-off, same-batch.
+	{file: "BENCH_tracing.json", bench: "BenchmarkSearchTracing", metric: "head64_overhead_ratio",
+		unit: "ratio", dir: LowerBetter, max: lim(1.10),
+		get: ratio([]string{"BenchmarkSearchTracing", "head64", "ns_per_op"},
+			[]string{"BenchmarkSearchTracing", "off", "ns_per_op"})},
+
+	// --- BENCH_recorder.json (flight-recorder PR) ------------------
+	{file: "BENCH_recorder.json", bench: "BenchmarkSearchTelemetry", metric: "off_ns_per_op",
+		unit: "ns/op", dir: LowerBetter,
+		get: path("regression_check", "BenchmarkSearchTelemetry/off", "ns_per_op")},
+	// A recorder snapshotting at 2000x the production cadence must
+	// stay within 5% of no-recorder, same-batch.
+	{file: "BENCH_recorder.json", bench: "BenchmarkSearchRecorder", metric: "recorder_overhead_ratio",
+		unit: "ratio", dir: LowerBetter, max: lim(1.05),
+		get: ratio([]string{"BenchmarkSearchRecorder", "on", "ns_per_op"},
+			[]string{"BenchmarkSearchRecorder", "off", "ns_per_op"})},
+
+	// --- BENCH_audit.json (journal + auditor PR) -------------------
+	{file: "BENCH_audit.json", bench: "BenchmarkSearchTelemetry", metric: "off_ns_per_op",
+		unit: "ns/op", dir: LowerBetter,
+		get: path("regression_check", "BenchmarkSearchTelemetry/off", "ns_per_op")},
+	{file: "BENCH_audit.json", bench: "BenchmarkSearchJournal", metric: "journal_overhead_ratio",
+		unit: "ratio", dir: LowerBetter, max: lim(1.15),
+		get: ratio([]string{"BenchmarkSearchJournal", "on", "ns_per_op"},
+			[]string{"BenchmarkSearchJournal", "off", "ns_per_op"})},
+	// The mixed workload journals bookings too (measured +13% on the
+	// 1-core VM, prose-attributed to scheduling noise): looser band.
+	{file: "BENCH_audit.json", bench: "BenchmarkMixedWorkloadJournal", metric: "journal_overhead_ratio",
+		unit: "ratio", dir: LowerBetter, max: lim(1.35),
+		get: ratio([]string{"BenchmarkMixedWorkloadJournal", "on", "ns_per_op"},
+			[]string{"BenchmarkMixedWorkloadJournal", "off", "ns_per_op"})},
+	{file: "BENCH_audit.json", bench: "BenchmarkMixedWorkloadJournal", metric: "audit_overhead_ratio",
+		unit: "ratio", dir: LowerBetter, max: lim(1.60),
+		get: ratio([]string{"BenchmarkMixedWorkloadJournal", "onAudit", "ns_per_op"},
+			[]string{"BenchmarkMixedWorkloadJournal", "on", "ns_per_op"})},
+
+	// --- BENCH_parallel.json (sharded-engine PR) -------------------
+	// The unsharded serial engine vs the growth seed's measurement:
+	// the one absolute baseline that predates all observability work.
+	{file: "BENCH_parallel.json", bench: "BenchmarkSearchThroughput", metric: "serial_ns_per_op",
+		unit: "ns/op", dir: LowerBetter, max: lim(1200),
+		get: path("go_bench", "serial_regression_check", "BenchmarkSearchThroughput_ns_per_op")},
+	{file: "BENCH_parallel.json", bench: "BenchmarkMixedWorkloadParallel", metric: "procs8_ops_per_s",
+		unit: "ops/s", dir: HigherBetter, min: lim(30000),
+		get: path("go_bench", "BenchmarkMixedWorkloadParallel", "procs8", "ops_per_s")},
+
+	// --- BENCH_ch.json (contraction-hierarchy PR) ------------------
+	// The CH routing engine's reason to exist: ≥10x over ALT at the
+	// largest benchmarked city (measured 18.5x), exact distances.
+	{file: "BENCH_ch.json", bench: "xarbench -ch-bench", metric: "ch_speedup_vs_alt_largest",
+		unit: "x", dir: HigherBetter, min: lim(10),
+		get: func(doc any) (float64, bool) {
+			m, _ := doc.(map[string]any)
+			sizes, _ := m["sizes"].([]any)
+			if len(sizes) == 0 {
+				return 0, false
+			}
+			return num(sizes[len(sizes)-1], "ch_speedup_vs_alt")
+		}},
+	{file: "BENCH_ch.json", bench: "xarbench -ch-bench", metric: "distance_mismatches_total",
+		unit: "count", dir: Exact, min: lim(0), max: lim(0),
+		get: func(doc any) (float64, bool) {
+			m, _ := doc.(map[string]any)
+			sizes, ok := m["sizes"].([]any)
+			if !ok {
+				return 0, false
+			}
+			var total float64
+			for _, s := range sizes {
+				v, ok := num(s, "distance_mismatches")
+				if !ok {
+					return 0, false
+				}
+				total += v
+			}
+			return total, true
+		}},
+
+	// --- BENCH_scale.json (load-harness PR, tool-emitted) ----------
+	// Only the lowest-rate step's client p99 is gated — it measures
+	// uncontended service latency; the knee steps measure where this
+	// hardware saturates and move with it (same rule as load.Gate).
+	{file: "BENCH_scale.json", bench: "xarload sweep", metric: "lowest_rate_client_p99_ms",
+		unit: "ms", dir: LowerBetter, max: lim(50),
+		get: func(doc any) (float64, bool) {
+			s := steps(doc)
+			if len(s) == 0 {
+				return 0, false
+			}
+			return num(s[0], "client_latency", "p99_ms")
+		}},
+	{file: "BENCH_scale.json", bench: "xarload sweep", metric: "rides_per_gb_last_step",
+		unit: "rides/GB", dir: HigherBetter, min: lim(50000),
+		get: func(doc any) (float64, bool) {
+			s := steps(doc)
+			if len(s) == 0 {
+				return 0, false
+			}
+			return num(s[len(s)-1], "memory", "rides_per_gb")
+		}},
+	{file: "BENCH_scale.json", bench: "xarload sweep", metric: "harness_errors_total",
+		unit: "count", dir: Exact, min: lim(0), max: lim(0),
+		get: func(doc any) (float64, bool) {
+			s := steps(doc)
+			if len(s) == 0 {
+				return 0, false
+			}
+			var total float64
+			for _, st := range s {
+				v, ok := num(st, "errors")
+				if !ok {
+					return 0, false
+				}
+				total += v
+			}
+			return total, true
+		}},
+
+	// --- BENCH_memory.json (memory-accounting PR) ------------------
+	{file: "BENCH_memory.json", bench: "BenchmarkSearchTelemetry", metric: "off_ns_per_op",
+		unit: "ns/op", dir: LowerBetter,
+		get: path("regression_check", "BenchmarkSearchTelemetry/off", "ns_per_op")},
+	{file: "BENCH_memory.json", bench: "BenchmarkSearchMemsize", metric: "memsize_overhead_ratio",
+		unit: "ratio", dir: LowerBetter, max: lim(1.05),
+		get: ratio([]string{"BenchmarkSearchMemsize", "on", "ns_per_op"},
+			[]string{"BenchmarkSearchMemsize", "off", "ns_per_op"})},
+	{file: "BENCH_memory.json", bench: "memsize coverage", metric: "tracked_coverage_ratio",
+		unit: "ratio", dir: HigherBetter, min: lim(0.85),
+		get: path("coverage", "tracked_coverage_ratio")},
+
+	// --- BENCH_quality.json (match-quality PR) ---------------------
+	{file: "BENCH_quality.json", bench: "BenchmarkSearchTelemetry", metric: "off_ns_per_op",
+		unit: "ns/op", dir: LowerBetter,
+		get: path("regression_check", "BenchmarkSearchTelemetry/off", "ns_per_op")},
+	{file: "BENCH_quality.json", bench: "BenchmarkSearchQuality", metric: "quality_overhead_ratio",
+		unit: "ratio", dir: LowerBetter, max: lim(1.05),
+		get: ratio([]string{"BenchmarkSearchQuality", "on", "ns_per_op"},
+			[]string{"BenchmarkSearchQuality", "off", "ns_per_op"})},
+	// The shadow matcher re-runs relaxed searches off the hot path;
+	// on the 1-core VM that work has nowhere to hide (measured 1.85x).
+	{file: "BENCH_quality.json", bench: "BenchmarkSearchQuality", metric: "shadow_overhead_ratio",
+		unit: "ratio", dir: LowerBetter, max: lim(3.5),
+		get: ratio([]string{"BenchmarkSearchQuality", "onShadow", "ns_per_op"},
+			[]string{"BenchmarkSearchQuality", "on", "ns_per_op"})},
+
+	// --- BENCH_profile.json (continuous-profiling PR) --------------
+	{file: "BENCH_profile.json", bench: "BenchmarkSearchTelemetry", metric: "off_ns_per_op",
+		unit: "ns/op", dir: LowerBetter,
+		get: path("regression_check", "BenchmarkSearchTelemetry/off", "ns_per_op")},
+	{file: "BENCH_profile.json", bench: "BenchmarkSearchProfiling", metric: "profiling_overhead_ratio",
+		unit: "ratio", dir: LowerBetter, max: lim(1.05),
+		get: ratio([]string{"BenchmarkSearchProfiling", "on", "ns_per_op"},
+			[]string{"BenchmarkSearchProfiling", "off", "ns_per_op"})},
+}
+
+// knownFiles is the set of BENCH files extractors cover.
+func knownFiles() map[string]bool {
+	m := map[string]bool{}
+	for _, e := range extractors {
+		m[e.file] = true
+	}
+	return m
+}
+
+// Collect reads dir's BENCH_*.json artifacts through the extractor
+// table and assembles the trajectory. Missing files are skipped
+// silently (a fresh checkout may predate some artifacts); files whose
+// shape defeats an extractor, and BENCH files no extractor knows,
+// produce warnings.
+func Collect(dir string) (*Trajectory, error) {
+	t := &Trajectory{Schema: Schema, Benchmarks: map[string]map[string]*Series{}}
+
+	docs := map[string]any{}
+	for _, e := range extractors {
+		if _, ok := docs[e.file]; ok {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.file))
+		if os.IsNotExist(err) {
+			docs[e.file] = nil
+			continue
+		} else if err != nil {
+			return nil, err
+		}
+		var doc any
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %v", e.file, err)
+		}
+		docs[e.file] = doc
+	}
+
+	for _, e := range extractors {
+		doc := docs[e.file]
+		if doc == nil {
+			continue
+		}
+		v, ok := e.get(doc)
+		if !ok {
+			t.Warnings = append(t.Warnings,
+				fmt.Sprintf("%s: metric %s/%s not found (shape drift? see bench_schema_test.go)", e.file, e.bench, e.metric))
+			continue
+		}
+		var date string
+		if m, ok := doc.(map[string]any); ok {
+			date, _ = m["date"].(string)
+		}
+		s := t.series(e.bench, e.metric)
+		if s.Unit == "" {
+			s.Unit, s.Direction, s.Min, s.Max = e.unit, e.dir, e.min, e.max
+		}
+		s.Points = append(s.Points, Point{Source: e.file, Date: date, Value: v})
+	}
+
+	// Unknown BENCH artifacts: warn so new files get extractors, but
+	// never gate on them (they have no bands).
+	known := knownFiles()
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	for _, m := range matches {
+		base := filepath.Base(m)
+		if base == "BENCH_trajectory.json" || known[base] {
+			continue
+		}
+		t.Warnings = append(t.Warnings,
+			fmt.Sprintf("%s: no extractor declares bands for this artifact; not gated", base))
+	}
+	return t, nil
+}
+
+func (t *Trajectory) series(bench, metric string) *Series {
+	byMetric := t.Benchmarks[bench]
+	if byMetric == nil {
+		byMetric = map[string]*Series{}
+		t.Benchmarks[bench] = byMetric
+	}
+	s := byMetric[metric]
+	if s == nil {
+		s = &Series{}
+		byMetric[metric] = s
+	}
+	return s
+}
+
+// AddPoint appends a fresh observation (typically Source "smoke") to
+// an existing series; series the extractor table does not declare are
+// created band-less and therefore warn rather than gate.
+func (t *Trajectory) AddPoint(bench, metric string, p Point) {
+	s := t.series(bench, metric)
+	s.Points = append(s.Points, p)
+}
+
+// Gate judges every point of every banded series against the series'
+// declared absolute band and returns the violations (empty = pass).
+// The bands are budgets, not history-relative envelopes, so old points
+// are as accountable as the newest: a doctored committed artifact and
+// a regressed fresh smoke measurement fail the same way. Band-less
+// series never gate.
+func (t *Trajectory) Gate() []string {
+	var out []string
+	benches := make([]string, 0, len(t.Benchmarks))
+	for b := range t.Benchmarks {
+		benches = append(benches, b)
+	}
+	sort.Strings(benches)
+	for _, b := range benches {
+		metrics := make([]string, 0, len(t.Benchmarks[b]))
+		for m := range t.Benchmarks[b] {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			s := t.Benchmarks[b][m]
+			for _, p := range s.Points {
+				if s.Min != nil && p.Value < *s.Min {
+					out = append(out, fmt.Sprintf("%s %s = %g %s (from %s) below floor %g",
+						b, m, p.Value, s.Unit, p.Source, *s.Min))
+				}
+				if s.Max != nil && p.Value > *s.Max {
+					out = append(out, fmt.Sprintf("%s %s = %g %s (from %s) exceeds budget %g",
+						b, m, p.Value, s.Unit, p.Source, *s.Max))
+				}
+			}
+		}
+	}
+	return out
+}

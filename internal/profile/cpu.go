@@ -1,0 +1,182 @@
+// Process-wide CPU-profile arbitration, and the page-triggered
+// CPUProfiler (moved here from internal/telemetry so both CPU-profile
+// consumers — the flight recorder's page-triggered capture and the
+// continuous profiler's periodic window — go through one owner).
+//
+// The runtime allows exactly one CPU profile at a time:
+// pprof.StartCPUProfile returns an error if one is already running.
+// Relying on that error alone is racy in reverse — whoever starts
+// first wins, and a long page-triggered capture could starve every
+// continuous window (or vice versa). acquireCPU/releaseCPU serialize
+// both paths behind a package-level lock so a loser skips cleanly and
+// at a well-defined boundary.
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"xar/internal/telemetry"
+)
+
+// ErrCPUBusy reports that another CPU profile owns the runtime's
+// single profiling slot; the caller should skip this window.
+var ErrCPUBusy = errors.New("profile: another CPU profile is already running")
+
+var (
+	cpuMu     sync.Mutex
+	cpuActive bool
+)
+
+// acquireCPU starts a CPU profile writing to w, or fails with
+// ErrCPUBusy if this package already owns the slot. A successful
+// acquire must be paired with releaseCPU.
+func acquireCPU(w io.Writer) error {
+	cpuMu.Lock()
+	defer cpuMu.Unlock()
+	if cpuActive {
+		return ErrCPUBusy
+	}
+	if err := pprof.StartCPUProfile(w); err != nil {
+		// Someone outside this package (net/http/pprof, a test) holds
+		// the runtime slot; treat it the same as a busy peer.
+		return fmt.Errorf("%w: %v", ErrCPUBusy, err)
+	}
+	cpuActive = true
+	return nil
+}
+
+// releaseCPU stops the profile started by acquireCPU and flushes w.
+func releaseCPU() {
+	cpuMu.Lock()
+	defer cpuMu.Unlock()
+	if !cpuActive {
+		return
+	}
+	pprof.StopCPUProfile()
+	cpuActive = false
+}
+
+// --- page-triggered CPU profiler ---
+
+// CPUProfilerConfig tunes the page-triggered capture.
+type CPUProfilerConfig struct {
+	// Dir receives cpu-<unix>.pprof files (required).
+	Dir string
+	// Duration of each capture (0 → 10s).
+	Duration time.Duration
+	// Cooldown between captures (0 → 10m) so a flapping SLO cannot keep
+	// the profiler pinned on.
+	Cooldown time.Duration
+	// Logf, when set, receives one line per capture or error.
+	Logf func(format string, args ...any)
+}
+
+// CPUProfiler captures a short CPU profile when triggered — the
+// "continuous profiling, but only when it matters" half of the flight
+// recorder. At most one capture runs at a time; triggers during a
+// capture or cooldown are dropped. Captures go through this package's
+// CPU arbiter, so a trigger landing while the continuous profiler is
+// mid-window (or an operator holds /debug/pprof/profile) is skipped
+// rather than fought over.
+type CPUProfiler struct {
+	cfg CPUProfilerConfig
+
+	mu      sync.Mutex
+	running bool
+	lastEnd time.Time
+}
+
+// NewCPUProfiler builds a profiler writing into cfg.Dir.
+func NewCPUProfiler(cfg CPUProfilerConfig) *CPUProfiler {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 10 * time.Minute
+	}
+	return &CPUProfiler{cfg: cfg}
+}
+
+// AttachTo arms the profiler on slo's page transitions.
+func (p *CPUProfiler) AttachTo(slo *telemetry.SLOEngine) {
+	slo.OnPage(func(st telemetry.SLOStatus) { p.Trigger(st.Name) })
+}
+
+// Trigger starts a capture in the background unless one is running or
+// cooling down. Returns whether a capture started.
+func (p *CPUProfiler) Trigger(reason string) bool {
+	p.mu.Lock()
+	if p.running || time.Since(p.lastEnd) < p.cfg.Cooldown {
+		p.mu.Unlock()
+		return false
+	}
+	p.running = true
+	p.mu.Unlock()
+
+	go p.capture(reason)
+	return true
+}
+
+func (p *CPUProfiler) capture(reason string) {
+	defer func() {
+		p.mu.Lock()
+		p.running = false
+		p.lastEnd = time.Now()
+		p.mu.Unlock()
+	}()
+	logf := p.cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(p.cfg.Dir, 0o755); err != nil {
+		logf("cpu profiler: %v", err)
+		return
+	}
+	path := filepath.Join(p.cfg.Dir, fmt.Sprintf("cpu-%d.pprof", time.Now().Unix()))
+	f, err := os.Create(path)
+	if err != nil {
+		logf("cpu profiler: %v", err)
+		return
+	}
+	if err := acquireCPU(f); err != nil {
+		// Another CPU profile is in flight; yield rather than fight it.
+		f.Close()
+		os.Remove(path)
+		logf("cpu profiler: skipped (%v)", err)
+		return
+	}
+	time.Sleep(p.cfg.Duration)
+	releaseCPU()
+	if err := f.Close(); err != nil {
+		logf("cpu profiler: %v", err)
+		return
+	}
+	logf("cpu profiler: captured %s (trigger: %s)", path, reason)
+}
+
+// LastProfile returns the newest cpu-*.pprof in the profiler's
+// directory, or "" when none exists — used by the debug bundle.
+func (p *CPUProfiler) LastProfile() string {
+	matches, err := filepath.Glob(filepath.Join(p.cfg.Dir, "cpu-*.pprof"))
+	if err != nil || len(matches) == 0 {
+		return ""
+	}
+	newest, newestMod := "", time.Time{}
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		if fi.ModTime().After(newestMod) {
+			newest, newestMod = m, fi.ModTime()
+		}
+	}
+	return newest
+}

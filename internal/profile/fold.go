@@ -1,0 +1,269 @@
+// Folding parsed pprof samples into per-function / per-package flat
+// tables, and diffing two folded tables symbol by symbol.
+package profile
+
+import (
+	"sort"
+	"strings"
+)
+
+// Profile kinds a capture can carry. heap_inuse is a live gauge; the
+// others are per-interval deltas (CPU by construction of the sampling
+// window, heap_alloc/mutex/block by subtracting the previous capture's
+// cumulative fold).
+const (
+	KindCPU       = "cpu"
+	KindHeapInuse = "heap_inuse"
+	KindHeapAlloc = "heap_alloc"
+	KindMutex     = "mutex"
+	KindBlock     = "block"
+)
+
+// Kinds lists every profile kind in display order.
+var Kinds = []string{KindCPU, KindHeapInuse, KindHeapAlloc, KindMutex, KindBlock}
+
+// Sample is one row of a folded flat table: a function's self (flat)
+// and inclusive (cum) value.
+type Sample struct {
+	Func string `json:"func"`
+	Pkg  string `json:"pkg"`
+	Flat int64  `json:"flat"`
+	Cum  int64  `json:"cum"`
+}
+
+// PkgSample aggregates flat values by package.
+type PkgSample struct {
+	Pkg  string `json:"pkg"`
+	Flat int64  `json:"flat"`
+}
+
+// Folded is one profile kind reduced to a flat table: the top-N
+// functions by flat value plus per-package totals. Total covers every
+// sample, including rows dropped by the top-N truncation.
+type Folded struct {
+	Kind     string      `json:"kind"`
+	Unit     string      `json:"unit"`
+	Total    int64       `json:"total"`
+	Rows     []Sample    `json:"rows"`
+	Dropped  int         `json:"dropped_rows,omitempty"`
+	Packages []PkgSample `json:"packages,omitempty"`
+}
+
+// Row returns the row for fn, or nil.
+func (f *Folded) Row(fn string) *Sample {
+	for i := range f.Rows {
+		if f.Rows[i].Func == fn {
+			return &f.Rows[i]
+		}
+	}
+	return nil
+}
+
+// pkgOf extracts the import-path-ish package prefix from a symbol
+// name: everything up to the first dot after the last slash
+// ("xar/internal/core.(*Engine).Search" → "xar/internal/core",
+// "runtime.mallocgc" → "runtime").
+func pkgOf(fn string) string {
+	slash := strings.LastIndexByte(fn, '/')
+	dot := strings.IndexByte(fn[slash+1:], '.')
+	if dot < 0 {
+		return fn
+	}
+	return fn[:slash+1+dot]
+}
+
+// folder accumulates per-function flat/cum values for one kind. It
+// keeps the full symbol map; truncation to top-N happens in finish.
+type folder struct {
+	rows  map[string]*Sample
+	total int64
+}
+
+func newFolder() *folder {
+	return &folder{rows: make(map[string]*Sample)}
+}
+
+func (f *folder) row(fn string) *Sample {
+	s := f.rows[fn]
+	if s == nil {
+		s = &Sample{Func: fn, Pkg: pkgOf(fn)}
+		f.rows[fn] = s
+	}
+	return s
+}
+
+// add folds one sample: stack is leaf-first, v the sample's value.
+// The leaf gets flat; every distinct frame gets cum (dedup so
+// recursive frames are not double-counted).
+func (f *folder) add(stack []string, v int64, seen map[string]bool) {
+	if len(stack) == 0 || v == 0 {
+		return
+	}
+	f.total += v
+	f.row(stack[0]).Flat += v
+	clear(seen)
+	for _, fn := range stack {
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		f.row(fn).Cum += v
+	}
+}
+
+// foldParsed folds every sample of p using the value at index vi.
+func foldParsed(p *parsedProfile, vi int) *folder {
+	f := newFolder()
+	seen := make(map[string]bool, 64)
+	var stack []string
+	for i := range p.samples {
+		s := &p.samples[i]
+		if vi >= len(s.vals) {
+			continue
+		}
+		stack = p.stack(s, stack)
+		f.add(stack, s.vals[vi], seen)
+	}
+	return f
+}
+
+// snapshot copies the folder's rows into a plain map keyed by
+// function, for use as the "previous cumulative" baseline.
+func (f *folder) snapshot() map[string]Sample {
+	out := make(map[string]Sample, len(f.rows))
+	for fn, s := range f.rows {
+		out[fn] = *s
+	}
+	return out
+}
+
+// subtract rewrites f in place as f − prev per symbol, clamped at
+// zero (the runtime's cumulative profiles are monotone; clamping
+// absorbs any symbol-table drift). Rows that vanish entirely are
+// removed and the total recomputed from the surviving flats.
+func (f *folder) subtract(prev map[string]Sample) {
+	f.total = 0
+	for fn, s := range f.rows {
+		if p, ok := prev[fn]; ok {
+			s.Flat -= p.Flat
+			s.Cum -= p.Cum
+		}
+		if s.Flat < 0 {
+			s.Flat = 0
+		}
+		if s.Cum < 0 {
+			s.Cum = 0
+		}
+		if s.Flat == 0 && s.Cum == 0 {
+			delete(f.rows, fn)
+			continue
+		}
+		f.total += s.Flat
+	}
+}
+
+// finish reduces the folder to a Folded table: rows sorted by flat
+// descending (name ascending on ties), truncated to topN, plus
+// per-package flat totals over the full pre-truncation row set.
+func (f *folder) finish(kind, unit string, topN int) *Folded {
+	out := &Folded{Kind: kind, Unit: unit, Total: f.total}
+	rows := make([]Sample, 0, len(f.rows))
+	pkgs := make(map[string]int64)
+	for _, s := range f.rows {
+		rows = append(rows, *s)
+		pkgs[s.Pkg] += s.Flat
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Flat != rows[j].Flat {
+			return rows[i].Flat > rows[j].Flat
+		}
+		return rows[i].Func < rows[j].Func
+	})
+	if topN > 0 && len(rows) > topN {
+		out.Dropped = len(rows) - topN
+		rows = rows[:topN]
+	}
+	out.Rows = rows
+	for pkg, v := range pkgs {
+		if v != 0 {
+			out.Packages = append(out.Packages, PkgSample{Pkg: pkg, Flat: v})
+		}
+	}
+	sort.Slice(out.Packages, func(i, j int) bool {
+		if out.Packages[i].Flat != out.Packages[j].Flat {
+			return out.Packages[i].Flat > out.Packages[j].Flat
+		}
+		return out.Packages[i].Pkg < out.Packages[j].Pkg
+	})
+	return out
+}
+
+// DiffRow is one symbol's movement between two captures.
+type DiffRow struct {
+	Func  string `json:"func"`
+	Pkg   string `json:"pkg"`
+	From  int64  `json:"from"`
+	To    int64  `json:"to"`
+	Delta int64  `json:"delta"`
+}
+
+// Diff is the symbol-level delta of one kind between two captures:
+// which functions got more expensive (positive delta) or cheaper
+// (negative) from the older capture to the newer. Rows are sorted by
+// |delta| descending so the biggest movers lead.
+type Diff struct {
+	Kind       string    `json:"kind"`
+	Unit       string    `json:"unit"`
+	FromID     uint64    `json:"from_id"`
+	ToID       uint64    `json:"to_id"`
+	FromUnix   float64   `json:"from_unix"`
+	ToUnix     float64   `json:"to_unix"`
+	TotalFrom  int64     `json:"total_from"`
+	TotalTo    int64     `json:"total_to"`
+	TotalDelta int64     `json:"total_delta"`
+	Rows       []DiffRow `json:"rows"`
+}
+
+// diffFolded computes to − from over the union of both flat tables.
+// Zero-delta symbols are omitted; limit > 0 truncates.
+func diffFolded(from, to *Folded, limit int) *Diff {
+	d := &Diff{
+		Kind:       to.Kind,
+		Unit:       to.Unit,
+		TotalFrom:  from.Total,
+		TotalTo:    to.Total,
+		TotalDelta: to.Total - from.Total,
+	}
+	fv := make(map[string]int64, len(from.Rows))
+	for _, s := range from.Rows {
+		fv[s.Func] = s.Flat
+	}
+	seen := make(map[string]bool, len(to.Rows))
+	for _, s := range to.Rows {
+		seen[s.Func] = true
+		if delta := s.Flat - fv[s.Func]; delta != 0 {
+			d.Rows = append(d.Rows, DiffRow{Func: s.Func, Pkg: s.Pkg, From: fv[s.Func], To: s.Flat, Delta: delta})
+		}
+	}
+	for _, s := range from.Rows {
+		if !seen[s.Func] && s.Flat != 0 {
+			d.Rows = append(d.Rows, DiffRow{Func: s.Func, Pkg: s.Pkg, From: s.Flat, To: 0, Delta: -s.Flat})
+		}
+	}
+	abs := func(v int64) int64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	sort.Slice(d.Rows, func(i, j int) bool {
+		if abs(d.Rows[i].Delta) != abs(d.Rows[j].Delta) {
+			return abs(d.Rows[i].Delta) > abs(d.Rows[j].Delta)
+		}
+		return d.Rows[i].Func < d.Rows[j].Func
+	})
+	if limit > 0 && len(d.Rows) > limit {
+		d.Rows = d.Rows[:limit]
+	}
+	return d
+}

@@ -1,0 +1,195 @@
+package profile
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+)
+
+func TestPkgOf(t *testing.T) {
+	cases := map[string]string{
+		"xar/internal/core.(*Engine).Search": "xar/internal/core",
+		"runtime.mallocgc":                   "runtime",
+		"main.main":                          "main",
+		"github.com/x/y/z.F":                 "github.com/x/y/z",
+		"crash":                              "crash",
+	}
+	for in, want := range cases {
+		if got := pkgOf(in); got != want {
+			t.Errorf("pkgOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// synthProfile hand-builds a parsedProfile with two stacks:
+//
+//	a←b←c (leaf a), value 10
+//	a←b   (leaf a), value 5
+//	b←c   (leaf b), value 3
+func synthProfile() *parsedProfile {
+	return &parsedProfile{
+		sampleTypes: []valueType{{Type: "cpu", Unit: "nanoseconds"}},
+		samples: []parsedSample{
+			{locs: []uint64{1, 2, 3}, vals: []int64{10}},
+			{locs: []uint64{1, 2}, vals: []int64{5}},
+			{locs: []uint64{2, 3}, vals: []int64{3}},
+		},
+		locFuncs:  map[uint64][]uint64{1: {101}, 2: {102}, 3: {103}},
+		funcNames: map[uint64]string{101: "p/a.A", 102: "p/b.B", 103: "p/c.C"},
+	}
+}
+
+func TestFoldFlatAndCum(t *testing.T) {
+	f := foldParsed(synthProfile(), 0)
+	out := f.finish(KindCPU, "nanoseconds", 0)
+	if out.Total != 18 {
+		t.Fatalf("total = %d, want 18", out.Total)
+	}
+	want := map[string][2]int64{ // flat, cum
+		"p/a.A": {15, 15},
+		"p/b.B": {3, 18},
+		"p/c.C": {0, 13},
+	}
+	for fn, w := range want {
+		r := out.Row(fn)
+		if r == nil {
+			t.Fatalf("row %s missing", fn)
+		}
+		if r.Flat != w[0] || r.Cum != w[1] {
+			t.Errorf("%s: flat/cum = %d/%d, want %d/%d", fn, r.Flat, r.Cum, w[0], w[1])
+		}
+	}
+	// Sorted by flat descending.
+	if out.Rows[0].Func != "p/a.A" {
+		t.Errorf("rows[0] = %s, want p/a.A", out.Rows[0].Func)
+	}
+	// Per-package flats over the full row set.
+	if len(out.Packages) == 0 || out.Packages[0].Pkg != "p/a" || out.Packages[0].Flat != 15 {
+		t.Errorf("packages = %+v, want p/a leading with 15", out.Packages)
+	}
+}
+
+func TestFoldRecursionNoDoubleCum(t *testing.T) {
+	p := &parsedProfile{
+		sampleTypes: []valueType{{Type: "cpu", Unit: "nanoseconds"}},
+		samples:     []parsedSample{{locs: []uint64{1, 1, 2}, vals: []int64{7}}},
+		locFuncs:    map[uint64][]uint64{1: {101}, 2: {102}},
+		funcNames:   map[uint64]string{101: "p.Rec", 102: "p.Root"},
+	}
+	out := foldParsed(p, 0).finish(KindCPU, "nanoseconds", 0)
+	if r := out.Row("p.Rec"); r.Cum != 7 {
+		t.Errorf("recursive frame cum = %d, want 7 (deduped)", r.Cum)
+	}
+}
+
+func TestFoldTopNTruncation(t *testing.T) {
+	f := foldParsed(synthProfile(), 0)
+	out := f.finish(KindCPU, "nanoseconds", 1)
+	if len(out.Rows) != 1 || out.Dropped != 2 {
+		t.Fatalf("rows/dropped = %d/%d, want 1/2", len(out.Rows), out.Dropped)
+	}
+	if out.Total != 18 {
+		t.Errorf("total after truncation = %d, want 18 (covers dropped rows)", out.Total)
+	}
+}
+
+func TestSubtractDelta(t *testing.T) {
+	prev := foldParsed(synthProfile(), 0)
+	base := prev.snapshot()
+
+	cur := foldParsed(synthProfile(), 0)
+	// Simulate growth: a.A gained 5 flat since the baseline.
+	cur.row("p/a.A").Flat += 5
+	cur.row("p/a.A").Cum += 5
+	cur.total += 5
+	cur.subtract(base)
+	if cur.total != 5 {
+		t.Fatalf("delta total = %d, want 5", cur.total)
+	}
+	if s := cur.rows["p/a.A"]; s == nil || s.Flat != 5 {
+		t.Fatalf("a.A delta = %+v, want flat 5", cur.rows["p/a.A"])
+	}
+	if _, ok := cur.rows["p/b.B"]; ok {
+		t.Error("unchanged symbol survived subtraction")
+	}
+}
+
+func TestDiffFolded(t *testing.T) {
+	from := foldParsed(synthProfile(), 0).finish(KindCPU, "nanoseconds", 0)
+	curF := foldParsed(synthProfile(), 0)
+	curF.row("p/b.B").Flat += 100
+	curF.total += 100
+	to := curF.finish(KindCPU, "nanoseconds", 0)
+
+	d := diffFolded(from, to, 0)
+	if d.TotalDelta != 100 {
+		t.Fatalf("total delta = %d, want 100", d.TotalDelta)
+	}
+	if len(d.Rows) != 1 || d.Rows[0].Func != "p/b.B" || d.Rows[0].Delta != 100 {
+		t.Fatalf("diff rows = %+v, want single p/b.B +100", d.Rows)
+	}
+}
+
+// allocForProfile keeps a named symbol alive in the heap profile.
+var profileTestSink [][]byte
+
+func allocForProfile() {
+	for i := 0; i < 64; i++ {
+		profileTestSink = append(profileTestSink, make([]byte, 64<<10))
+	}
+}
+
+// TestParseRuntimeHeapProfile round-trips a real runtime heap profile
+// through the wire-format parser: sample types resolve, stacks
+// resolve to symbols, and a function that demonstrably allocated is
+// present in the fold.
+func TestParseRuntimeHeapProfile(t *testing.T) {
+	allocForProfile()
+	defer func() { profileTestSink = nil }()
+	// The heap profile reflects the most recently completed GC cycle;
+	// force one so the allocation above is fully recorded.
+	runtime.GC()
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := parsePprof(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi := p.valueIndex("inuse_space")
+	if vi < 0 {
+		t.Fatalf("inuse_space not among sample types %+v", p.sampleTypes)
+	}
+	if p.sampleTypes[vi].Unit != "bytes" {
+		t.Fatalf("inuse_space unit = %q, want bytes", p.sampleTypes[vi].Unit)
+	}
+	out := foldParsed(p, vi).finish(KindHeapInuse, "bytes", 0)
+	if out.Total <= 0 {
+		t.Fatal("heap fold total is zero")
+	}
+	found := false
+	for _, r := range out.Rows {
+		if r.Func == "xar/internal/profile.allocForProfile" {
+			found = true
+			if r.Flat < 1<<20 {
+				t.Errorf("allocForProfile flat = %d, want ≥1MiB", r.Flat)
+			}
+		}
+	}
+	if !found {
+		t.Error("allocForProfile not found in heap fold — stack symbolization broken")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := parsePprof([]byte{0x1f, 0x8b, 0x00}); err == nil {
+		t.Error("truncated gzip accepted")
+	}
+	// Field 1 (sample_type) with wire type 2 but a length running off
+	// the end must error, not panic.
+	if _, err := parsePprof([]byte{0x0a, 0x7f, 0x01}); err == nil {
+		t.Error("truncated message accepted")
+	}
+}

@@ -1,0 +1,365 @@
+// Stdlib-only parser for the pprof profile.proto wire format.
+//
+// The continuous profiler captures every kind — CPU, heap, mutex,
+// block — as the raw gzipped protobuf the runtime writes (pprof.Lookup
+// WriteTo debug=0 / StartCPUProfile), then folds it through this one
+// parser. Going through the serialized form rather than the
+// runtime.XxxProfileRecord APIs buys two things: the raw bytes are
+// exactly what `go tool pprof` loads, so every stored capture doubles
+// as an export, and the runtime has already normalized units before
+// writing (mutex/block delay arrives in nanoseconds, not cycles).
+//
+// Only the fields the folder needs are decoded: sample types, samples
+// (location ids + values), the location→function and function→name
+// tables, and duration. Everything else is skipped by wire type.
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// maxUncompressedProfile bounds gunzip expansion so a corrupt length
+// field cannot balloon memory; real captures are well under this.
+const maxUncompressedProfile = 64 << 20
+
+type valueType struct {
+	Type string
+	Unit string
+}
+
+type parsedSample struct {
+	locs []uint64 // location ids, leaf first
+	vals []int64  // one per sample type
+}
+
+// parsedProfile is the subset of profile.proto the folder consumes.
+type parsedProfile struct {
+	sampleTypes   []valueType
+	samples       []parsedSample
+	locFuncs      map[uint64][]uint64 // location id → function ids, innermost (inlined) first
+	funcNames     map[uint64]string
+	durationNanos int64
+}
+
+// valueIndex returns the index into Sample.vals for the sample type
+// with the given name, or -1.
+func (p *parsedProfile) valueIndex(typ string) int {
+	for i, st := range p.sampleTypes {
+		if st.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// stack expands a sample's location ids into function names, leaf
+// first. Unknown ids are skipped.
+func (p *parsedProfile) stack(s *parsedSample, out []string) []string {
+	out = out[:0]
+	for _, loc := range s.locs {
+		for _, fn := range p.locFuncs[loc] {
+			if name, ok := p.funcNames[fn]; ok {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+var errTruncated = errors.New("profile: truncated protobuf")
+
+// protoReader is a minimal protobuf wire-format cursor.
+type protoReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *protoReader) done() bool { return r.pos >= len(r.b) }
+
+func (r *protoReader) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if r.pos >= len(r.b) {
+			return 0, errTruncated
+		}
+		c := r.b[r.pos]
+		r.pos++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, errors.New("profile: varint overflows 64 bits")
+}
+
+// tag reads the next field tag, returning field number and wire type.
+func (r *protoReader) tag() (int, int, error) {
+	v, err := r.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+// bytesField reads a length-delimited field body.
+func (r *protoReader) bytesField() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)-r.pos) {
+		return nil, errTruncated
+	}
+	b := r.b[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b, nil
+}
+
+func (r *protoReader) skip(wire int) error {
+	switch wire {
+	case 0: // varint
+		_, err := r.varint()
+		return err
+	case 1: // fixed64
+		if len(r.b)-r.pos < 8 {
+			return errTruncated
+		}
+		r.pos += 8
+		return nil
+	case 2: // length-delimited
+		_, err := r.bytesField()
+		return err
+	case 5: // fixed32
+		if len(r.b)-r.pos < 4 {
+			return errTruncated
+		}
+		r.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("profile: unsupported wire type %d", wire)
+	}
+}
+
+// uint64s appends one-or-packed varint values of a repeated integer
+// field: wire type 2 is the packed encoding, 0 a single element.
+func uint64s(r *protoReader, wire int, out []uint64) ([]uint64, error) {
+	if wire == 0 {
+		v, err := r.varint()
+		if err != nil {
+			return out, err
+		}
+		return append(out, v), nil
+	}
+	body, err := r.bytesField()
+	if err != nil {
+		return out, err
+	}
+	pr := protoReader{b: body}
+	for !pr.done() {
+		v, err := pr.varint()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parsePprof decodes a (possibly gzipped) profile.proto message.
+func parsePprof(data []byte) (*parsedProfile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("profile: gunzip: %w", err)
+		}
+		data, err = io.ReadAll(io.LimitReader(zr, maxUncompressedProfile))
+		if err != nil {
+			return nil, fmt.Errorf("profile: gunzip: %w", err)
+		}
+	}
+	p := &parsedProfile{
+		locFuncs:  make(map[uint64][]uint64),
+		funcNames: make(map[uint64]string),
+	}
+	// String-table indices are resolved after the full pass: the table
+	// is field 6 and interleaves with the fields that reference it.
+	var strs []string
+	type vtRef struct{ typ, unit uint64 }
+	var stRefs []vtRef
+	type fnRef struct{ id, name uint64 }
+	var fnRefs []fnRef
+
+	r := protoReader{b: data}
+	for !r.done() {
+		field, wire, err := r.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // sample_type: ValueType{type=1, unit=2} as string-table indices
+			body, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			var ref vtRef
+			vr := protoReader{b: body}
+			for !vr.done() {
+				f, w, err := vr.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case 1:
+					ref.typ, err = vr.varint()
+				case 2:
+					ref.unit, err = vr.varint()
+				default:
+					err = vr.skip(w)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+			stRefs = append(stRefs, ref)
+		case 2: // sample: Sample{location_id=1, value=2}
+			body, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			var s parsedSample
+			var raw []uint64
+			sr := protoReader{b: body}
+			for !sr.done() {
+				f, w, err := sr.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case 1:
+					s.locs, err = uint64s(&sr, w, s.locs)
+				case 2:
+					raw, err = uint64s(&sr, w, raw)
+				default:
+					err = sr.skip(w)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+			s.vals = make([]int64, len(raw))
+			for i, v := range raw {
+				s.vals[i] = int64(v)
+			}
+			p.samples = append(p.samples, s)
+		case 4: // location: Location{id=1, line=4{function_id=1}}
+			body, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			var id uint64
+			var fns []uint64
+			lr := protoReader{b: body}
+			for !lr.done() {
+				f, w, err := lr.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case 1:
+					id, err = lr.varint()
+				case 4:
+					var line []byte
+					line, err = lr.bytesField()
+					if err == nil {
+						nr := protoReader{b: line}
+						for !nr.done() {
+							lf, lw, lerr := nr.tag()
+							if lerr != nil {
+								return nil, lerr
+							}
+							if lf == 1 {
+								var fn uint64
+								fn, lerr = nr.varint()
+								if lerr != nil {
+									return nil, lerr
+								}
+								fns = append(fns, fn)
+							} else if lerr = nr.skip(lw); lerr != nil {
+								return nil, lerr
+							}
+						}
+					}
+				default:
+					err = lr.skip(w)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+			if id != 0 {
+				p.locFuncs[id] = fns
+			}
+		case 5: // function: Function{id=1, name=2 as string-table index}
+			body, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			var ref fnRef
+			fr := protoReader{b: body}
+			for !fr.done() {
+				f, w, err := fr.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case 1:
+					ref.id, err = fr.varint()
+				case 2:
+					ref.name, err = fr.varint()
+				default:
+					err = fr.skip(w)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+			fnRefs = append(fnRefs, ref)
+		case 6: // string_table
+			body, err := r.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			strs = append(strs, string(body))
+		case 10: // duration_nanos
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			p.durationNanos = int64(v)
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strs)) {
+			return strs[i]
+		}
+		return ""
+	}
+	for _, ref := range stRefs {
+		p.sampleTypes = append(p.sampleTypes, valueType{Type: str(ref.typ), Unit: str(ref.unit)})
+	}
+	for _, ref := range fnRefs {
+		if ref.id != 0 {
+			p.funcNames[ref.id] = str(ref.name)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,49 @@
+package profile
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRawExportsLoadInGoToolPprof is gated behind XAR_PPROF_TOOL=1: it
+// shells out to `go tool pprof`.
+func TestRawExportsLoadInGoToolPprof(t *testing.T) {
+	if os.Getenv("XAR_PPROF_TOOL") == "" {
+		t.Skip("set XAR_PPROF_TOOL=1 to run the go-tool-pprof load check")
+	}
+	p := New(Config{CPUWindow: 300 * time.Millisecond})
+	defer p.Close()
+	stop := make(chan struct{})
+	go func() {
+		x := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				x++
+			}
+		}
+	}()
+	c := p.CaptureNow()
+	close(stop)
+	dir := t.TempDir()
+	for _, name := range c.RawNames() {
+		path := dir + "/" + name + ".pprof"
+		if err := os.WriteFile(path, c.Raw(name), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := exec.Command("go", "tool", "pprof", "-top", "-nodecount=3", path).CombinedOutput()
+		if err != nil {
+			t.Errorf("%s: go tool pprof failed: %v\n%s", name, err, out)
+			continue
+		}
+		if !strings.Contains(string(out), "Showing nodes") && !strings.Contains(string(out), "flat") {
+			t.Errorf("%s: unexpected pprof output:\n%s", name, out)
+		}
+		t.Logf("%s:\n%s", name, out)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"time"
 
+	"xar/internal/profile"
 	"xar/internal/telemetry"
 )
 
@@ -40,7 +41,7 @@ func WithSLO(slo *telemetry.SLOEngine) Option {
 
 // WithCPUProfiler includes the profiler's most recent page-triggered
 // capture as cpu.pprof in debug bundles.
-func WithCPUProfiler(p *telemetry.CPUProfiler) Option {
+func WithCPUProfiler(p *profile.CPUProfiler) Option {
 	return func(s *Server) { s.cpuProfiler = p }
 }
 
@@ -195,6 +196,12 @@ func (s *Server) handleDebugBundle(w http.ResponseWriter, r *http.Request) {
 //	goroutines.txt       goroutine dump, human-readable
 //	heap.pprof           heap profile
 //	cpu.pprof            last page-triggered CPU capture (when present)
+//	profiles.json        continuous-profiler capture summaries (when
+//	                     the engine has Config.Profiling)
+//	profile-<id>-<raw>.pprof
+//	                     raw blobs of every pinned capture — the
+//	                     profiles bracketing SLO pages travel with the
+//	                     bundle, each loadable by `go tool pprof`
 //
 // It serves GET /v1/debug/bundle and the SIGQUIT dump in xarserver.
 func (s *Server) WriteDebugBundle(w io.Writer) error {
@@ -324,6 +331,25 @@ func (s *Server) WriteDebugBundle(w io.Writer) error {
 		if path := s.cpuProfiler.LastProfile(); path != "" {
 			if b, err := os.ReadFile(path); err == nil {
 				if err := addBytes("cpu.pprof", b); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if p := s.eng.Profiler(); p != nil {
+		if err := addJSON("profiles.json", ProfileListResponse{Profiles: p.List(profile.ListFilter{})}); err != nil {
+			return err
+		}
+		// Pinned captures are the profiles bracketing SLO pages — ship
+		// their raw blobs so the post-incident look has them even after
+		// the process is gone.
+		for _, sum := range p.List(profile.ListFilter{PinnedOnly: true}) {
+			c, ok := p.Get(sum.ID)
+			if !ok {
+				continue
+			}
+			for _, name := range c.RawNames() {
+				if err := addBytes(fmt.Sprintf("profile-%d-%s.pprof", c.ID, name), c.Raw(name)); err != nil {
 					return err
 				}
 			}

@@ -7,12 +7,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"xar/internal/core"
 	"xar/internal/discretize"
 	"xar/internal/memsize"
+	"xar/internal/profile"
 	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
@@ -46,6 +48,10 @@ func newRecorderEnv(t testing.TB) *recorderEnv {
 	cfg.Tracer = tracer
 	cfg.Quality = qc
 	cfg.Memory = memsize.NewRegistry()
+	// On-demand captures only (no background worker, no CPU window):
+	// /v1/profiles and debug bundles have content, tests stay
+	// deterministic.
+	cfg.Profiling = profile.New(profile.Config{Registry: reg, CPUWindow: -1})
 	eng, err := core.NewEngine(d, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -281,6 +287,11 @@ func TestDebugBundle(t *testing.T) {
 	}, nil)
 	env.tick(10, time.Millisecond)
 	env.tick(10, time.Millisecond)
+	// Two on-demand captures, the newest pinned — the bundle must carry
+	// the summary list plus the pinned capture's raw blobs.
+	env.eng.Profiler().CaptureNow()
+	env.eng.Profiler().CaptureNow()
+	env.eng.Profiler().PinLatest("bundle test")
 
 	resp, err := http.Get(env.srv.URL + "/v1/debug/bundle")
 	if err != nil {
@@ -319,11 +330,29 @@ func TestDebugBundle(t *testing.T) {
 		"config.json", "quality.json", "slo.json", "history.json",
 		"memory.json", "metrics.prom", "shards.json",
 		"traces_slowest.json", "traces_errors.json", "goroutine.pprof",
-		"goroutines.txt", "heap.pprof",
+		"goroutines.txt", "heap.pprof", "profiles.json",
 	} {
 		if len(members[want]) == 0 {
 			t.Errorf("bundle member %s missing or empty", want)
 		}
+	}
+
+	// The pinned capture's raw blobs ride along for post-incident pprof.
+	var plist ProfileListResponse
+	if err := json.Unmarshal(members["profiles.json"], &plist); err != nil {
+		t.Fatalf("profiles.json: %v", err)
+	}
+	if len(plist.Profiles) < 2 {
+		t.Errorf("profiles.json lists %d captures, want >= 2", len(plist.Profiles))
+	}
+	pinnedRaw := 0
+	for name, b := range members {
+		if strings.HasPrefix(name, "profile-") && strings.HasSuffix(name, ".pprof") && len(b) > 0 {
+			pinnedRaw++
+		}
+	}
+	if pinnedRaw == 0 {
+		t.Error("no pinned profile-<id>-<name>.pprof members in the bundle")
 	}
 
 	// Member sanity: config carries the world, slo parses with states,

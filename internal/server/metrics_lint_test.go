@@ -33,6 +33,8 @@ func TestMetricNameHygiene(t *testing.T) {
 	}
 	env.doRaw(t, "POST", "/v1/bookings", `{"ride_id": 999999}`, nil)
 	env.auditor.Audit()
+	// One capture so the xar_profile_* families materialize.
+	env.eng.Profiler().CaptureNow()
 
 	resp := env.doRaw(t, "GET", "/v1/metrics/prom", "", nil)
 	if resp.StatusCode != http.StatusOK {
@@ -107,6 +109,9 @@ func TestMetricNameHygiene(t *testing.T) {
 		"xar_rides_per_gb",
 		"xar_memsize_sweeps_total",
 		"xar_memsize_sweep_duration_seconds",
+		"xar_profile_captures_total",
+		"xar_profile_capture_duration_seconds",
+		"xar_profile_overhead_ratio",
 		"go_goroutines",
 		"go_gc_pauses_seconds",
 	} {

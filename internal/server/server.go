@@ -24,6 +24,12 @@
 //	GET    /v1/quality          match-quality funnel, slack, shadow stats
 //	GET    /v1/memory           per-component memory breakdown, rides/GB,
 //	                            heap stats, top allocation sites
+//	GET    /v1/profiles         continuous-profiler capture list (filter:
+//	                            pinned, since_s, limit)
+//	GET    /v1/profiles/{id}    one capture's flat profile tables (?kind=
+//	                            narrows, ?format=pprof exports the raw blob)
+//	GET    /v1/profiles/diff    symbol-level delta between two captures
+//	                            (from, to, kind, limit)
 //	GET    /v1/healthz          liveness + uptime + engine counters
 //
 // Every route is wrapped in telemetry middleware: per-route request and
@@ -46,6 +52,7 @@ import (
 	"xar/internal/geo"
 	"xar/internal/index"
 	"xar/internal/journal"
+	"xar/internal/profile"
 	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
@@ -62,7 +69,7 @@ type Server struct {
 	tracer      *telemetry.Tracer
 	recorder    *telemetry.Recorder
 	slo         *telemetry.SLOEngine
-	cpuProfiler *telemetry.CPUProfiler
+	cpuProfiler *profile.CPUProfiler
 	journal     *journal.Journal
 	auditor     *audit.Auditor
 	quality     *quality.Collector
@@ -151,6 +158,9 @@ func New(eng *core.Engine, social *core.SocialGraph, opts ...Option) *Server {
 	handle("GET /v1/slo", "/v1/slo", s.handleSLO)
 	handle("GET /v1/quality", "/v1/quality", s.handleQuality)
 	handle("GET /v1/memory", "/v1/memory", s.handleMemory)
+	handle("GET /v1/profiles", "/v1/profiles", s.handleProfiles)
+	handle("GET /v1/profiles/diff", "/v1/profiles/diff", s.handleProfileDiff)
+	handle("GET /v1/profiles/{id}", "/v1/profiles/{id}", s.handleProfileByID)
 	handle("GET /v1/debug/bundle", "/v1/debug/bundle", s.handleDebugBundle)
 	handle("GET /v1/healthz", "/v1/healthz", s.handleHealth)
 	return s

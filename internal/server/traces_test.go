@@ -18,6 +18,7 @@ import (
 	"xar/internal/discretize"
 	"xar/internal/journal"
 	"xar/internal/memsize"
+	"xar/internal/profile"
 	"xar/internal/quality"
 	"xar/internal/roadnet"
 	"xar/internal/telemetry"
@@ -60,6 +61,9 @@ func newTracedEnv(t testing.TB) *tracedEnv {
 	// On-demand sweeps only (no background worker): /v1/memory and the
 	// xar_memsize_* gauges are live, and tests stay deterministic.
 	cfg.Memory = memsize.NewRegistry()
+	// Same policy for the continuous profiler: captures only when a test
+	// asks (CaptureNow), no CPU window, no capture worker.
+	cfg.Profiling = profile.New(profile.Config{Registry: reg, CPUWindow: -1})
 	eng, err := core.NewEngine(d, cfg)
 	if err != nil {
 		t.Fatal(err)

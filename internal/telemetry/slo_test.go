@@ -1,8 +1,6 @@
 package telemetry
 
 import (
-	"os"
-	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -163,64 +161,5 @@ func TestRatioObjective(t *testing.T) {
 	if st := slo.Statuses()[0]; st.State != SLOPage {
 		t.Fatalf("conflict-storm state = %v, want page (burn short=%v long=%v)",
 			st.State, st.BurnShort, st.BurnLong)
-	}
-}
-
-func TestCPUProfilerTriggerAndCooldown(t *testing.T) {
-	dir := t.TempDir()
-	p := NewCPUProfiler(CPUProfilerConfig{
-		Dir:      dir,
-		Duration: 50 * time.Millisecond,
-		Cooldown: time.Hour,
-	})
-	if !p.Trigger("test") {
-		t.Fatal("first trigger refused")
-	}
-	// Capture runs in the background; the file only gains content once
-	// StopCPUProfile flushes, so waiting for non-empty also waits for the
-	// capture to release the global profiler.
-	path := waitForProfile(t, p)
-	if filepath.Dir(path) != dir {
-		t.Fatalf("profile written outside dir: %s", path)
-	}
-	// Cooldown: immediate re-trigger refused.
-	if p.Trigger("again") {
-		t.Fatal("trigger during cooldown accepted")
-	}
-}
-
-func TestCPUProfilerAttachesToSLO(t *testing.T) {
-	f := newSLOFixture(t)
-	dir := t.TempDir()
-	p := NewCPUProfiler(CPUProfilerConfig{Dir: dir, Duration: 20 * time.Millisecond, Cooldown: time.Hour})
-	p.AttachTo(f.slo)
-
-	for i := 0; i < 36; i++ {
-		f.tick(100, 0.001)
-	}
-	for i := 0; i < 12; i++ {
-		f.tick(100, 0.5)
-	}
-	if f.state(t).State != SLOPage {
-		t.Fatal("fixture did not page")
-	}
-	waitForProfile(t, p)
-}
-
-// waitForProfile blocks until p has a completed (non-empty) capture and
-// returns its path.
-func waitForProfile(t *testing.T, p *CPUProfiler) string {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if path := p.LastProfile(); path != "" {
-			if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
-				return path
-			}
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("no completed profile captured")
-		}
-		time.Sleep(10 * time.Millisecond)
 	}
 }
